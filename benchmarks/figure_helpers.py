@@ -1,0 +1,28 @@
+"""Shared helpers for the dynamic-interference figure benchmarks."""
+
+from __future__ import annotations
+
+#: Compression of the paper's 27-minute timeline used by the Fig. 4c/4d
+#: benchmarks (0.5 -> ~13.5 minutes of simulated time, ~200 rounds).
+TIME_SCALE = 0.5
+
+
+def segment_rows(result, scale: float):
+    """Per-segment (reliability, N_TX, radio-on) rows of the §V-C timeline."""
+    minutes = 60.0 * scale
+    segments = [
+        ("calm", 0.0, 7 * minutes),
+        ("30% jamming", 7 * minutes, 12 * minutes),
+        ("calm", 12 * minutes, 17 * minutes),
+        ("5% jamming", 17 * minutes, 22 * minutes),
+        ("calm", 22 * minutes, 27 * minutes),
+    ]
+    return [
+        [
+            name,
+            result.reliability_during(start, end),
+            result.n_tx_during(start, end),
+            result.radio_on_ms.window_average(start, end),
+        ]
+        for name, start, end in segments
+    ]

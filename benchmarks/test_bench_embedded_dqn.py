@@ -1,0 +1,38 @@
+"""§IV-B — embedded DQN footprint.
+
+Regenerates the embedded feasibility numbers: 31-30-3 architecture,
+~2.1 kB of flash for the quantized weights, RAM for intermediate
+results within the 400 B budget, and an inference latency on the order
+of the paper's 90 ms on a 4 MHz 16-bit TelosB.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.rl.quantized import QuantizedNetwork
+
+
+def test_embedded_dqn_footprint(benchmark, pretrained_network):
+    quantized = QuantizedNetwork(pretrained_network)
+    state = np.zeros(31)
+
+    benchmark(quantized.forward, state)
+
+    report = quantized.report(mcu_mhz=4.0)
+    rows = [
+        ["Architecture", "31-30-3", "31-30-3"],
+        ["Flash (weights)", f"{report.flash_bytes} B ({report.flash_kb:.2f} kB)", "~2.1 kB"],
+        ["RAM (intermediate)", f"{report.ram_bytes} B", "~400 B"],
+        ["Inference on 4 MHz MSP430", f"{report.estimated_runtime_ms:.0f} ms", "~90 ms"],
+        ["Parameters", str(report.num_parameters), "1053"],
+    ]
+    print()
+    print(format_table(["Quantity", "This reproduction", "Paper"], rows,
+                       title="Embedded DQN footprint (SIV-B)"))
+
+    assert 2000 <= report.flash_bytes <= 2200
+    assert report.ram_bytes <= 400
+    assert 60 <= report.estimated_runtime_ms <= 120
+    # Quantized and float policies agree on the vast majority of states.
+    states = np.random.default_rng(0).uniform(-1, 1, size=(200, 31))
+    assert quantized.agreement_with(pretrained_network, states) > 0.9

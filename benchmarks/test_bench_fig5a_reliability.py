@@ -1,0 +1,60 @@
+"""Fig. 5a — reliability against intermediate interference levels.
+
+Sweeps the static interference ratio from 0 % to 35 % for LWB
+(``N_TX = 3``), Dimmer and the PID baseline, and prints the reliability
+series (error bars are standard deviations over independent runs).
+Paper shape: all protocols degrade as interference rises; the adaptive
+protocols (Dimmer, PID) maintain markedly higher reliability than
+static LWB at high ratios.
+"""
+
+import pytest
+
+from repro.experiments.interference_sweep import run_interference_sweep
+from repro.experiments.reporting import format_table
+
+RATIOS = (0.0, 0.05, 0.15, 0.25, 0.35)
+ROUNDS_PER_RUN = 40
+RUNS = 2
+
+#: Shared cache so Fig. 5a and Fig. 5b reuse the same (expensive) sweep.
+_SWEEP_CACHE = {}
+
+
+def get_sweep(network):
+    key = id(network)
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = run_interference_sweep(
+            network=network,
+            ratios=RATIOS,
+            rounds_per_run=ROUNDS_PER_RUN,
+            runs=RUNS,
+            seed=3,
+        )
+    return _SWEEP_CACHE[key]
+
+
+def test_fig5a_reliability_vs_interference(benchmark, pretrained_network):
+    sweep = benchmark.pedantic(get_sweep, args=(pretrained_network,), rounds=1, iterations=1)
+    rows = []
+    for ratio in sweep.ratios():
+        row = [f"{ratio * 100:.0f}%"]
+        for protocol in ("lwb", "dimmer", "pid"):
+            point = sweep.point(protocol, ratio)
+            row.append(f"{point.metrics.reliability:.3f} +/- {point.metrics.reliability_std:.3f}")
+        rows.append(row)
+    print()
+    print(format_table(
+        ["interference", "LWB", "Dimmer", "PID"],
+        rows,
+        title="Fig. 5a: reliability vs interference ratio",
+    ))
+    # Shape checks: interference hurts static LWB the most; the adaptive
+    # protocols keep reliability at least as high as LWB at the top ratio.
+    lwb = sweep.series("lwb", "reliability")
+    dimmer = sweep.series("dimmer", "reliability")
+    pid = sweep.series("pid", "reliability")
+    assert lwb[0] == pytest.approx(1.0, abs=0.02)
+    assert lwb[-1] < lwb[0]
+    assert dimmer[-1] >= lwb[-1] - 0.02
+    assert pid[-1] >= lwb[-1] - 0.02

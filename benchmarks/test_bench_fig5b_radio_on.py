@@ -1,0 +1,40 @@
+"""Fig. 5b — radio-on time against intermediate interference levels.
+
+Same sweep as Fig. 5a, reporting the radio-on time per slot.  Paper
+shape: the PID cannot quantify interference strength and quickly
+saturates at the maximum slot length, while Dimmer scales its
+retransmissions with the interference level and therefore needs less
+radio-on time than the PID at low/medium ratios; static LWB stays
+cheapest but pays for it in reliability (Fig. 5a).
+"""
+
+from figure_helpers import TIME_SCALE  # noqa: F401  (keeps helpers importable)
+
+from repro.experiments.reporting import format_table
+from test_bench_fig5a_reliability import get_sweep
+
+
+def test_fig5b_radio_on_vs_interference(benchmark, pretrained_network):
+    sweep = benchmark.pedantic(get_sweep, args=(pretrained_network,), rounds=1, iterations=1)
+    rows = []
+    for ratio in sweep.ratios():
+        row = [f"{ratio * 100:.0f}%"]
+        for protocol in ("lwb", "dimmer", "pid"):
+            point = sweep.point(protocol, ratio)
+            row.append(f"{point.metrics.radio_on_ms:.2f} +/- {point.metrics.radio_on_std_ms:.2f}")
+        rows.append(row)
+    print()
+    print(format_table(
+        ["interference", "LWB [ms]", "Dimmer [ms]", "PID [ms]"],
+        rows,
+        title="Fig. 5b: radio-on time vs interference ratio",
+    ))
+    dimmer = sweep.series("dimmer", "radio_on_ms")
+    pid = sweep.series("pid", "radio_on_ms")
+    lwb = sweep.series("lwb", "radio_on_ms")
+    # Radio-on time grows with interference for the adaptive protocols.
+    assert dimmer[-1] > dimmer[0]
+    assert pid[-1] > pid[0]
+    # At the highest ratio the adaptive protocols spend more energy than
+    # static LWB (they buy reliability with retransmissions).
+    assert max(dimmer[-1], pid[-1]) >= lwb[-1]

@@ -1,0 +1,37 @@
+"""Fig. 7b — energy on the 48-node D-Cube deployment.
+
+Energy companion of Fig. 7a: total network radio energy per scenario.
+Paper shape: LWB is cheapest when the spectrum is clean but its energy
+rises under interference (failed receptions, lost synchronization);
+Dimmer's energy grows markedly under interference because it raises
+N_TX to 8, ending up comparable to Crystal.
+"""
+
+from repro.experiments.reporting import format_table
+from test_bench_fig7a_dcube_reliability import get_comparison
+
+
+def test_fig7b_dcube_energy(benchmark, pretrained_network, dcube):
+    comparison = benchmark.pedantic(
+        get_comparison, args=(pretrained_network, dcube), rounds=1, iterations=1
+    )
+    level_names = {0: "no interference", 1: "WiFi level 1", 2: "WiFi level 2"}
+    rows = []
+    for level in comparison.levels():
+        row = [level_names[level]]
+        for protocol in ("lwb", "dimmer", "crystal"):
+            row.append(comparison.get(protocol, level).energy_j)
+        rows.append(row)
+    print()
+    print(format_table(
+        ["scenario", "LWB [J]", "Dimmer [J]", "Crystal [J]"],
+        rows,
+        title="Fig. 7b: D-Cube total radio energy",
+    ))
+    # Shape: interference costs Dimmer energy (it raises N_TX to protect
+    # reliability)...
+    assert comparison.get("dimmer", 2).energy_j > comparison.get("dimmer", 0).energy_j
+    # ...and every protocol reports a positive energy figure.
+    for protocol in ("lwb", "dimmer", "crystal"):
+        for level in comparison.levels():
+            assert comparison.get(protocol, level).energy_j > 0.0

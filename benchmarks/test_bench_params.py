@@ -1,0 +1,42 @@
+"""§V-A evaluation parameters.
+
+Regenerates the parameter list of the evaluation setup (round period,
+slot length, packet sizes, headers, transmit power) from the library's
+configuration objects, checking they match the paper.
+"""
+
+import pytest
+
+from repro.core.config import DimmerConfig, dcube_config
+from repro.experiments.reporting import format_table
+from repro.net.packet import DIMMER_HEADER_BYTES, LWB_HEADER_BYTES, DataPacket, DimmerFeedbackHeader
+from repro.net.simulator import SimulatorConfig
+
+
+def test_evaluation_parameters(benchmark):
+    config = benchmark(DimmerConfig)
+    simulator = SimulatorConfig()
+    dcube = dcube_config()
+    packet = DataPacket(source=1, feedback=DimmerFeedbackHeader(8.0, 1.0))
+
+    rows = [
+        ["Round period (testbed)", f"{config.round_period_s:.0f} s", "4 s"],
+        ["Round period (D-Cube)", f"{dcube.round_period_s:.0f} s", "1 s"],
+        ["Slot duration", f"{config.slot_ms:.0f} ms", "20 ms"],
+        ["Packet size", f"{packet.total_bytes} B", "30 B"],
+        ["LWB header", f"{LWB_HEADER_BYTES} B", "3 B"],
+        ["Dimmer header", f"{DIMMER_HEADER_BYTES} B", "2 B"],
+        ["Transmit power", f"{simulator.tx_power_dbm:.0f} dBm", "0 dBm"],
+        ["N_max", str(config.n_max), "8"],
+        ["Reward constant C", f"{config.efficiency_weight:.1f}", "0.3"],
+        ["Discount factor", "0.7", "0.7"],
+    ]
+    print()
+    print(format_table(["Parameter", "This reproduction", "Paper"], rows,
+                       title="Evaluation parameters (SV-A)"))
+
+    assert config.round_period_s == pytest.approx(4.0)
+    assert dcube.round_period_s == pytest.approx(1.0)
+    assert config.slot_ms == pytest.approx(20.0)
+    assert packet.total_bytes == 30
+    assert config.n_max == 8

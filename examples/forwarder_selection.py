@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Forwarder selection with multi-armed bandits (the §V-D scenario, Fig. 6).
+
+Runs the distributed Exp3 forwarder selection on the 18-node testbed
+with the central DQN deactivated: node after node gets a learning
+window, tries passivity, and keeps the role only when the network does
+not suffer.  The script prints the number of active forwarders over
+time and the radio-on saving against a no-selection baseline (the paper
+reports 9.55 ms vs 11.04 ms at 99.9 % reliability).
+
+Run with::
+
+    python examples/forwarder_selection.py [num_rounds]
+"""
+
+import sys
+
+from repro.experiments.forwarder import run_forwarder_selection_experiment
+from repro.experiments.reporting import format_table
+from repro.experiments.training import load_pretrained_agent
+from repro.net.topology import kiel_testbed
+
+
+def main(num_rounds: int = 300) -> None:
+    agent = load_pretrained_agent()
+    print(f"running {num_rounds} forwarder-selection rounds (DQN deactivated) ...")
+    result = run_forwarder_selection_experiment(
+        network=agent.online,
+        topology=kiel_testbed(),
+        num_rounds=num_rounds,
+        learning_rounds_per_node=5,
+        seed=2,
+    )
+
+    # Print the evolution in six windows, like reading Fig. 6 left to right.
+    windows = 6
+    size = max(1, len(result.forwarders.values) // windows)
+    rows = []
+    for index in range(windows):
+        start = index * size
+        end = (index + 1) * size if index < windows - 1 else len(result.forwarders.values)
+        values = result.forwarders.values[start:end]
+        rows.append([
+            f"{result.forwarders.times_s[start] / 60:.0f}-{result.forwarders.times_s[end - 1] / 60:.0f} min",
+            sum(values) / len(values),
+            sum(result.reliability.values[start:end]) / len(values),
+            sum(result.radio_on_ms.values[start:end]) / len(values),
+        ])
+    print(format_table(
+        ["window", "active forwarders", "reliability", "radio-on [ms]"],
+        rows,
+        title="Forwarder selection over time",
+    ))
+    print()
+    print(f"reliability with selection   : {result.metrics.reliability:.3f}")
+    print(f"radio-on with selection      : {result.metrics.radio_on_ms:.2f} ms")
+    print(f"radio-on without selection   : {result.baseline_metrics.radio_on_ms:.2f} ms")
+    print(f"network-breaking configs hit : {result.breaking_configurations}")
+
+
+if __name__ == "__main__":
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    main(rounds)

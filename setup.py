@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` to build a PEP 660 editable install;
+this offline environment does not ship it, so `python setup.py develop`
+(or plain `pip install -e . --no-build-isolation` once wheel is
+available) can be used instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Reproduction of *Dimmer: Self-Adaptive Network-Wide Flooding with
+Reinforcement Learning* (Poirot & Landsiedel, ICDCS 2021).
+
+The package is organised in layers:
+
+* :mod:`repro.net` — the low-power wireless substrate: topologies,
+  links, interference, Glossy floods, LWB rounds and the network
+  simulator that replaces the paper's TelosB testbeds.
+* :mod:`repro.rl` — the reinforcement-learning substrate: a numpy MLP
+  Q-network, fixed-point quantization for embedded inference, a DQN
+  trainer, the Exp3 adversarial bandit, and trace/simulation training
+  environments.
+* :mod:`repro.core` — Dimmer itself: statistics collection, the central
+  DQN-driven adaptivity control, the distributed Exp3 forwarder
+  selection and the protocol runner.
+* :mod:`repro.baselines` — static LWB, the PI(D) controller and the
+  Crystal-like dependable collection protocol the paper compares against.
+* :mod:`repro.experiments` — scenario scripting, metrics, and one entry
+  point per table/figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Baselines the paper compares Dimmer against.
+
+* :mod:`repro.baselines.static_lwb` — plain LWB with a fixed
+  ``N_TX = 3`` on a single channel (the non-adaptive baseline).
+* :mod:`repro.baselines.pid` — the tuned PI(D) controller baseline
+  (K_P = 1, K_I = 0.25) representing traditional closed-loop adaptivity.
+* :mod:`repro.baselines.crystal` — a Crystal-like dependable aperiodic
+  collection protocol (TA pairs, ACKs, channel hopping, noise
+  detection) representing the hand-crafted state of the art of §V-E.
+"""
+
+from repro.baselines.crystal import CrystalConfig, CrystalProtocol, EpochSummary
+from repro.baselines.pid import PIController, PIDProtocol, PIDConfig
+from repro.baselines.static_lwb import StaticLWBProtocol
+
+__all__ = [
+    "CrystalConfig",
+    "CrystalProtocol",
+    "EpochSummary",
+    "PIController",
+    "PIDProtocol",
+    "PIDConfig",
+    "StaticLWBProtocol",
+]

@@ -1,0 +1,282 @@
+"""Crystal-like dependable aperiodic data collection.
+
+Crystal (Istomin et al., IPSN 2018) is the hand-crafted,
+expert-configured state of the art the paper compares against on
+D-Cube.  Its core idea is a sequence of Transmission/Acknowledgement
+(TA) pairs inside each epoch: sources with pending data flood their
+packet in a T slot, the sink floods an acknowledgement in the following
+A slot, and the epoch terminates after a few consecutive silent T slots
+— unless channel noise is detected, in which case extra TA pairs are
+scheduled before the radio is turned off.  TA pairs hop channels to
+escape narrow-band interference.
+
+This module reproduces that behaviour at the same level of abstraction
+as the rest of the repository (Glossy-flood granularity): it is not a
+bit-exact Crystal reimplementation, but it exhibits the properties the
+comparison in Fig. 7 relies on — near-perfect reliability under strong
+WiFi interference, bought with a higher energy budget, obtained through
+hand-tuned static parameters rather than learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.channels import ChannelHopper
+from repro.net.energy import EnergyModel, RadioOnTracker
+from repro.net.glossy import GlossyFlood
+from repro.net.interference import InterferenceSource, NoInterference
+from repro.net.link import LinkModel
+from repro.net.packet import DEFAULT_PACKET_BYTES
+from repro.net.radio import RadioModel
+from repro.net.topology import Topology
+
+
+@dataclass
+class CrystalConfig:
+    """Static (expert-tuned) Crystal parameters.
+
+    The defaults correspond to a configuration obtained "after
+    preliminary trials on the deployment", as the paper puts it: they
+    are generous enough to survive the strongest interference level of
+    the evaluation.
+    """
+
+    n_tx: int = 3
+    max_ta_pairs: int = 12
+    #: Epoch ends after this many consecutive T slots without new data...
+    silence_threshold: int = 2
+    #: ...unless noise was detected, in which case this many extra TA
+    #: pairs are granted before the radio is switched off.
+    noise_extra_pairs: int = 4
+    slot_ms: float = 20.0
+    slot_gap_ms: float = 2.0
+    epoch_period_s: float = 1.0
+    packet_bytes: int = DEFAULT_PACKET_BYTES
+    channel_hopping: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_tx < 1:
+            raise ValueError("n_tx must be at least 1")
+        if self.max_ta_pairs < 1:
+            raise ValueError("max_ta_pairs must be at least 1")
+        if self.silence_threshold < 1:
+            raise ValueError("silence_threshold must be at least 1")
+
+
+@dataclass(frozen=True)
+class EpochSummary:
+    """Outcome of one Crystal epoch."""
+
+    epoch_index: int
+    time_s: float
+    pending_before: int
+    delivered: List[int]
+    ta_pairs_used: int
+    noise_detected: bool
+    average_radio_on_ms: float
+
+
+class CrystalProtocol:
+    """Crystal-like collection protocol running directly on Glossy floods.
+
+    Parameters
+    ----------
+    topology:
+        Deployment; the sink is the topology's coordinator.
+    config:
+        Static protocol parameters.
+    interference:
+        Interference environment (can be replaced between epochs).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[CrystalConfig] = None,
+        interference: Optional[InterferenceSource] = None,
+        link_model: Optional[LinkModel] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config if config is not None else CrystalConfig()
+        self.interference = interference if interference is not None else NoInterference()
+        self.sink = topology.coordinator
+        self.rng = np.random.default_rng(self.config.seed)
+        self.radio = RadioModel()
+        self.link_model = link_model if link_model is not None else LinkModel(
+            topology, seed=self.config.seed
+        )
+        self.flood = GlossyFlood(topology, self.link_model, self.radio, self.rng)
+        self.hopper = ChannelHopper(enabled=self.config.channel_hopping)
+        self.energy_model = EnergyModel(self.radio)
+
+        self.time_ms = 0.0
+        self.epoch_index = 0
+        #: Source id -> list of pending packet identifiers awaiting delivery.
+        self.pending: Dict[int, List[int]] = {}
+        self.delivered_packets = 0
+        self.generated_packets = 0
+        self._packet_counter = 0
+        self.radio_on_totals: Dict[int, RadioOnTracker] = {
+            node: RadioOnTracker() for node in topology.node_ids
+        }
+        self.history: List[EpochSummary] = []
+
+    # ------------------------------------------------------------------
+    # Traffic generation
+    # ------------------------------------------------------------------
+    def enqueue(self, source: int, count: int = 1) -> None:
+        """Queue ``count`` new packets at ``source`` for delivery to the sink."""
+        if source not in self.topology.positions:
+            raise ValueError(f"unknown source: {source}")
+        if source == self.sink:
+            raise ValueError("the sink does not generate traffic to itself")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        queue = self.pending.setdefault(source, [])
+        for _ in range(count):
+            queue.append(self._packet_counter)
+            self._packet_counter += 1
+            self.generated_packets += 1
+
+    def pending_count(self) -> int:
+        """Number of packets currently awaiting delivery."""
+        return sum(len(queue) for queue in self.pending.values())
+
+    def set_interference(self, interference: InterferenceSource) -> None:
+        """Replace the interference environment."""
+        self.interference = interference
+
+    # ------------------------------------------------------------------
+    # Epoch execution
+    # ------------------------------------------------------------------
+    def _record_flood_energy(self, radio_on_ms: Dict[int, float]) -> None:
+        for node in self.topology.node_ids:
+            self.radio_on_totals[node].record_slot(radio_on_ms.get(node, 0.0))
+
+    def _noise_detected(self, slot_start_ms: float, channel: int) -> bool:
+        """Noise detection: sample the medium at the sink before sleeping."""
+        penalty = self.interference.penalty(
+            self.topology.positions[self.sink], slot_start_ms, self.config.slot_ms, channel
+        )
+        return penalty > 0.05
+
+    def run_epoch(self) -> EpochSummary:
+        """Execute one Crystal epoch (S slot plus a train of TA pairs)."""
+        config = self.config
+        epoch_start_ms = self.time_ms
+        slot_ms = config.slot_ms + config.slot_gap_ms
+        slots_used = 0
+        delivered: List[int] = []
+        radio_on_epoch: Dict[int, float] = {node: 0.0 for node in self.topology.node_ids}
+
+        def run_slot(initiator: int, channel: int) -> Dict[int, bool]:
+            nonlocal slots_used
+            start = epoch_start_ms + slots_used * slot_ms
+            result = self.flood.run(
+                initiator=initiator,
+                n_tx=config.n_tx,
+                packet_bytes=config.packet_bytes,
+                channel=channel,
+                start_ms=start,
+                interference=self.interference,
+                max_slot_ms=config.slot_ms,
+            )
+            for node, value in result.radio_on_ms.items():
+                radio_on_epoch[node] += value
+            slots_used += 1
+            return result.received
+
+        # --- S slot: sink floods synchronization/schedule. ---------------
+        run_slot(self.sink, self.hopper.control_channel())
+
+        # --- TA pairs. ----------------------------------------------------
+        silent_slots = 0
+        noise_detected = False
+        extra_budget = 0
+        pairs = 0
+        while pairs < config.max_ta_pairs + extra_budget:
+            pending_sources = [s for s, queue in self.pending.items() if queue]
+            channel = self.hopper.data_channel(pairs)
+            t_start = epoch_start_ms + slots_used * slot_ms
+            if not pending_sources:
+                # Empty T slot: everyone listens briefly; check termination.
+                silent_slots += 1
+                for node in self.topology.node_ids:
+                    radio_on_epoch[node] += config.slot_ms / 2.0
+                slots_used += 1
+                if self._noise_detected(t_start, channel):
+                    noise_detected = True
+                    extra_budget = config.noise_extra_pairs
+                    silent_slots = 0
+                elif silent_slots >= config.silence_threshold:
+                    break
+                pairs += 1
+                continue
+
+            # Concurrent pending sources transmit together; the capture
+            # effect lets the sink decode (at most) one of them.
+            initiator = int(self.rng.choice(pending_sources))
+            received = run_slot(initiator, channel)
+            sink_got_it = received.get(self.sink, False)
+            if sink_got_it:
+                packet_id = self.pending[initiator].pop(0)
+                delivered.append(packet_id)
+                self.delivered_packets += 1
+                silent_slots = 0
+                # A slot: the sink floods the acknowledgement.
+                run_slot(self.sink, channel)
+            else:
+                # Missed T slot: Crystal schedules more TA pairs and checks
+                # for noise.
+                silent_slots = 0
+                if self._noise_detected(t_start, channel):
+                    noise_detected = True
+                    extra_budget = min(extra_budget + config.noise_extra_pairs, 3 * config.noise_extra_pairs)
+            pairs += 1
+
+        self._record_flood_energy(radio_on_epoch)
+        pending_before = len(delivered) + self.pending_count()
+        summary = EpochSummary(
+            epoch_index=self.epoch_index,
+            time_s=self.time_ms / 1000.0,
+            pending_before=pending_before,
+            delivered=delivered,
+            ta_pairs_used=pairs,
+            noise_detected=noise_detected,
+            average_radio_on_ms=(
+                sum(radio_on_epoch.values()) / (len(radio_on_epoch) * max(1, slots_used))
+            ),
+        )
+        self.history.append(summary)
+        self.epoch_index += 1
+        self.hopper.advance_round(pairs)
+        self.time_ms += config.epoch_period_s * 1000.0
+        return summary
+
+    def run(self, num_epochs: int) -> List[EpochSummary]:
+        """Execute ``num_epochs`` consecutive epochs."""
+        if num_epochs < 0:
+            raise ValueError("num_epochs must be non-negative")
+        return [self.run_epoch() for _ in range(num_epochs)]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def reliability(self) -> float:
+        """Fraction of generated packets delivered to the sink so far."""
+        if self.generated_packets == 0:
+            return 1.0
+        return self.delivered_packets / self.generated_packets
+
+    def total_energy_j(self) -> float:
+        """Total radio energy spent by the whole network so far (joules)."""
+        return self.energy_model.network_energy_j(self.radio_on_totals)
+
+    def average_radio_on_ms(self) -> float:
+        """Per-slot radio-on time averaged over all nodes and slots."""
+        return self.energy_model.network_average_radio_on_ms(self.radio_on_totals)

@@ -1,0 +1,159 @@
+"""Statistics collector and global network view.
+
+Dimmer closes its feedback loop without any extra transmissions: every
+source piggybacks a two-byte performance header on its data packet, and
+the coordinator (like every other node) collects whatever headers it
+managed to receive.  Reliability is additionally estimated from the
+schedule — a packet announced for a slot but not received is counted as
+lost — and nodes the coordinator heard nothing from are filled in with
+pessimistic values (0 % reliability, 100 % radio-on time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.net.lwb import RoundResult, build_observer_view
+from repro.net.packet import DimmerFeedbackHeader
+
+
+@dataclass(frozen=True)
+class GlobalView:
+    """The coordinator's snapshot of network performance after a round.
+
+    Attributes
+    ----------
+    reliabilities:
+        Per-node packet reception rate as known to the coordinator
+        (from feedback headers, the coordinator's own measurements and
+        pessimistic fill-ins).
+    radio_on_ms:
+        Per-node per-slot radio-on time, same provenance.
+    missing_feedback:
+        Nodes whose data packet (and therefore feedback) the coordinator
+        did not receive this round.
+    had_losses:
+        Whether the view contains evidence of losses anywhere in the
+        network (any reliability below 100 %).
+    round_index:
+        Round the view was assembled from.
+    """
+
+    reliabilities: Dict[int, float]
+    radio_on_ms: Dict[int, float]
+    missing_feedback: List[int] = field(default_factory=list)
+    had_losses: bool = False
+    round_index: int = 0
+
+    def worst_reliability(self) -> float:
+        """Lowest per-node reliability in the view (1.0 for an empty view)."""
+        if not self.reliabilities:
+            return 1.0
+        return min(self.reliabilities.values())
+
+    def average_reliability(self) -> float:
+        """Mean per-node reliability in the view (1.0 for an empty view)."""
+        if not self.reliabilities:
+            return 1.0
+        return sum(self.reliabilities.values()) / len(self.reliabilities)
+
+
+class StatisticsCollector:
+    """Assembles :class:`GlobalView` snapshots at a given node.
+
+    The collector is written from the coordinator's perspective (that is
+    where the DQN runs) but works identically at any observer node, which
+    is what the distributed forwarder selection relies on.
+
+    Parameters
+    ----------
+    observer:
+        Node at which the statistics are collected.
+    expected_nodes:
+        Every node the observer expects feedback from.
+    pessimistic_radio_on_ms:
+        Radio-on value attributed to silent nodes (a full slot).
+    loss_history_window:
+        Number of recent views kept for the "is the network calm?"
+        decision of the controller.
+    """
+
+    def __init__(
+        self,
+        observer: int,
+        expected_nodes: Sequence[int],
+        pessimistic_radio_on_ms: float = 20.0,
+        loss_history_window: int = 16,
+    ) -> None:
+        if loss_history_window <= 0:
+            raise ValueError("loss_history_window must be positive")
+        self.observer = observer
+        self.expected_nodes = [n for n in expected_nodes]
+        self.pessimistic_radio_on_ms = pessimistic_radio_on_ms
+        self.loss_history_window = loss_history_window
+        self._views: List[GlobalView] = []
+
+    # ------------------------------------------------------------------
+    # View construction
+    # ------------------------------------------------------------------
+    def build_view(self, result: RoundResult) -> GlobalView:
+        """Build the observer's global view from one round's outcome.
+
+        Only information the observer could legitimately have is used:
+        the feedback headers of data packets the observer itself
+        received, the observer's own local statistics, and the schedule
+        (to detect missing packets).
+        """
+        view_data = build_observer_view(
+            result,
+            observer=self.observer,
+            expected_nodes=self.expected_nodes,
+            pessimistic_radio_on_ms=self.pessimistic_radio_on_ms,
+        )
+        reliabilities = view_data["reliability"]
+        radio_on = view_data["radio_on_ms"]
+        missing = sorted(view_data["missing"])
+
+        had_losses = any(value < 1.0 for value in reliabilities.values())
+        view = GlobalView(
+            reliabilities=reliabilities,
+            radio_on_ms=radio_on,
+            missing_feedback=missing,
+            had_losses=had_losses,
+            round_index=result.round_index,
+        )
+        self._views.append(view)
+        del self._views[: -self.loss_history_window]
+        return view
+
+    # ------------------------------------------------------------------
+    # History queries
+    # ------------------------------------------------------------------
+    @property
+    def latest_view(self) -> Optional[GlobalView]:
+        """Most recent view, if any round has been observed yet."""
+        return self._views[-1] if self._views else None
+
+    def recent_views(self, count: int) -> List[GlobalView]:
+        """The last ``count`` views, oldest first."""
+        if count <= 0:
+            return []
+        return self._views[-count:]
+
+    def calm_rounds(self) -> int:
+        """Number of consecutive most-recent rounds without any losses."""
+        calm = 0
+        for view in reversed(self._views):
+            if view.had_losses:
+                break
+            calm += 1
+        return calm
+
+    def losses_in_last(self, count: int) -> bool:
+        """Whether any of the last ``count`` views showed losses."""
+        return any(view.had_losses for view in self.recent_views(count))
+
+    def reset(self) -> None:
+        """Forget all collected history."""
+        self._views.clear()

@@ -1,0 +1,43 @@
+"""Experiment harness.
+
+One module per element of the paper's evaluation (§V):
+
+* :mod:`repro.experiments.scenarios` — interference scenarios and
+  testbed setups shared by all experiments.
+* :mod:`repro.experiments.metrics` — reliability / radio-on / energy
+  aggregation helpers.
+* :mod:`repro.experiments.training` — the offline training pipeline
+  (trace collection, DQN training, quantization) with artifact caching.
+* :mod:`repro.experiments.feature_selection` — Fig. 4b (input nodes and
+  history-size sweeps).
+* :mod:`repro.experiments.dynamic` — Fig. 4c / 4d (dynamic interference
+  timelines for Dimmer and the PID baseline).
+* :mod:`repro.experiments.interference_sweep` — Fig. 5a / 5b (static
+  interference-ratio sweep for LWB, Dimmer and PID).
+* :mod:`repro.experiments.forwarder` — Fig. 6 (forwarder selection).
+* :mod:`repro.experiments.dcube` — Fig. 7 (48-node D-Cube comparison
+  of LWB, Dimmer and Crystal).
+* :mod:`repro.experiments.reporting` — plain-text table/series printers
+  used by the benchmark harness.
+"""
+
+from repro.experiments.metrics import ExperimentMetrics, summarize_rounds
+from repro.experiments.scenarios import (
+    DynamicInterferenceScenario,
+    dcube_wifi_interference,
+    jamming_interference,
+    paper_dynamic_scenario,
+)
+from repro.experiments.training import TrainingPipeline, TrainingProfile, load_pretrained_agent
+
+__all__ = [
+    "ExperimentMetrics",
+    "summarize_rounds",
+    "DynamicInterferenceScenario",
+    "dcube_wifi_interference",
+    "jamming_interference",
+    "paper_dynamic_scenario",
+    "TrainingPipeline",
+    "TrainingProfile",
+    "load_pretrained_agent",
+]

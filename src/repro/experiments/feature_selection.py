@@ -1,0 +1,237 @@
+"""Fig. 4b — DQN input-feature selection (§V-B).
+
+The paper sweeps two dimensions of the DQN input vector:
+
+* **Number of input nodes K** (Fig. 4b-i): how many worst-reliability
+  devices feed the network.  Very small K leads to over-conservative
+  policies (energy wasted), K = all overfits the deployment; the paper
+  selects K = 10.
+* **History size M** (Fig. 4b-ii): how many past-round loss indicators
+  feed the network.  No history makes the DQN react to transient losses;
+  the paper selects M = 2.
+
+Both panels also show the flash footprint of the resulting quantized
+DQN.  For every swept value several models are trained independently
+and their evaluation metrics averaged, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.training import TrainingPipeline, TrainingProfile
+from repro.net.topology import Topology, kiel_testbed
+from repro.rl.features import FeatureConfig
+from repro.rl.trace_env import DEFAULT_TRAINING_EPISODES, EpisodeSpec, SimulationEnvironment
+
+#: K values swept in Fig. 4b(i) ("1, 5, 10, 15, All" on an 18-node testbed).
+PAPER_INPUT_NODE_VALUES = (1, 5, 10, 15, 18)
+
+#: M values swept in Fig. 4b(ii) ("None" to 5).
+PAPER_HISTORY_VALUES = (0, 1, 2, 3, 4, 5)
+
+#: Episodes used to evaluate trained models: mild and heavy interference
+#: plus calm periods, mirroring the evaluation dataset of §V-B.
+EVALUATION_EPISODES: Sequence[EpisodeSpec] = (
+    ((10, 0.0),),
+    ((3, 0.0), (6, 0.10), (3, 0.0)),
+    ((3, 0.0), (6, 0.30), (3, 0.0)),
+    ((4, 0.05), (4, 0.0), (4, 0.20)),
+)
+
+
+@dataclass
+class FeatureSweepPoint:
+    """Aggregated evaluation of one feature-configuration value."""
+
+    value: int
+    radio_on_ms: float
+    radio_on_std_ms: float
+    reliability: float
+    reliability_std: float
+    dqn_size_kb: float
+    models: int
+
+    def as_row(self) -> List[float]:
+        """Row representation used by the benchmark tables."""
+        return [
+            float(self.value),
+            self.radio_on_ms,
+            self.radio_on_std_ms,
+            self.reliability,
+            self.reliability_std,
+            self.dqn_size_kb,
+        ]
+
+
+@dataclass
+class FeatureSweepResult:
+    """Full sweep result (one Fig. 4b panel)."""
+
+    dimension: str
+    points: List[FeatureSweepPoint] = field(default_factory=list)
+
+    def values(self) -> List[int]:
+        """Swept values in order."""
+        return [point.value for point in self.points]
+
+    def best_by_radio_on(self) -> FeatureSweepPoint:
+        """The swept value with the lowest radio-on time."""
+        return min(self.points, key=lambda point: point.radio_on_ms)
+
+    def point(self, value: int) -> FeatureSweepPoint:
+        """Look up the sweep point for a given value."""
+        for entry in self.points:
+            if entry.value == value:
+                return entry
+        raise KeyError(f"no sweep point for value {value}")
+
+
+def _evaluate_model(
+    agent,
+    feature_config: FeatureConfig,
+    topology: Topology,
+    episodes: Sequence[EpisodeSpec],
+    evaluation_repeats: int,
+    seed: int,
+) -> tuple:
+    """Greedy-evaluate one trained model on simulation episodes."""
+    environment = SimulationEnvironment(
+        topology=topology,
+        feature_config=feature_config,
+        episodes=episodes,
+        initial_n_tx=3,
+        seed=seed,
+    )
+    reliabilities: List[float] = []
+    radio_on: List[float] = []
+    total_episodes = evaluation_repeats * len(episodes)
+    quantized = agent.quantize()
+    for _ in range(total_episodes):
+        state = environment.reset()
+        done = False
+        while not done:
+            action = quantized.predict_action(state)
+            step = environment.step(action)
+            state = step.state
+            done = step.done
+            reliabilities.append(float(step.info["reliability"]))
+            radio_on.append(float(step.info["radio_on_ms"]))
+    return float(np.mean(reliabilities)), float(np.mean(radio_on)), quantized.report().flash_kb
+
+
+def _sweep(
+    dimension: str,
+    values: Sequence[int],
+    topology: Topology,
+    models_per_value: int,
+    profile: TrainingProfile,
+    training_episodes: Sequence[EpisodeSpec],
+    evaluation_episodes: Sequence[EpisodeSpec],
+    evaluation_repeats: int,
+    data_dir: Optional[Path],
+    seed: int,
+) -> FeatureSweepResult:
+    result = FeatureSweepResult(dimension=dimension)
+    for value in values:
+        reliabilities: List[float] = []
+        radio_on: List[float] = []
+        size_kb = 0.0
+        for model_index in range(models_per_value):
+            if dimension == "input_nodes":
+                config = FeatureConfig(num_input_nodes=value, history_size=2)
+            elif dimension == "history":
+                config = FeatureConfig(num_input_nodes=10, history_size=value)
+            else:
+                raise ValueError(f"unknown sweep dimension: {dimension!r}")
+            pipeline = TrainingPipeline(
+                topology=topology,
+                feature_config=config,
+                profile=profile,
+                episodes=training_episodes,
+                seed=seed + 31 * model_index,
+                **({"data_dir": data_dir} if data_dir is not None else {}),
+            )
+            agent, _ = pipeline.train()
+            reliability, radio, size_kb = _evaluate_model(
+                agent,
+                config,
+                topology,
+                evaluation_episodes,
+                evaluation_repeats,
+                seed=seed + 7 + model_index,
+            )
+            reliabilities.append(reliability)
+            radio_on.append(radio)
+        result.points.append(
+            FeatureSweepPoint(
+                value=value,
+                radio_on_ms=float(np.mean(radio_on)),
+                radio_on_std_ms=float(np.std(radio_on)),
+                reliability=float(np.mean(reliabilities)),
+                reliability_std=float(np.std(reliabilities)),
+                dqn_size_kb=size_kb,
+                models=models_per_value,
+            )
+        )
+    return result
+
+
+def sweep_input_nodes(
+    values: Sequence[int] = PAPER_INPUT_NODE_VALUES,
+    topology: Optional[Topology] = None,
+    models_per_value: int = 3,
+    profile: Optional[TrainingProfile] = None,
+    training_episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES,
+    evaluation_episodes: Sequence[EpisodeSpec] = EVALUATION_EPISODES,
+    evaluation_repeats: int = 2,
+    data_dir: Optional[Path] = None,
+    seed: int = 0,
+) -> FeatureSweepResult:
+    """Fig. 4b(i): sweep the number of input nodes K."""
+    topology = topology if topology is not None else kiel_testbed()
+    profile = profile if profile is not None else TrainingProfile.fast()
+    return _sweep(
+        "input_nodes",
+        values,
+        topology,
+        models_per_value,
+        profile,
+        training_episodes,
+        evaluation_episodes,
+        evaluation_repeats,
+        data_dir,
+        seed,
+    )
+
+
+def sweep_history_size(
+    values: Sequence[int] = PAPER_HISTORY_VALUES,
+    topology: Optional[Topology] = None,
+    models_per_value: int = 3,
+    profile: Optional[TrainingProfile] = None,
+    training_episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES,
+    evaluation_episodes: Sequence[EpisodeSpec] = EVALUATION_EPISODES,
+    evaluation_repeats: int = 2,
+    data_dir: Optional[Path] = None,
+    seed: int = 0,
+) -> FeatureSweepResult:
+    """Fig. 4b(ii): sweep the number of historical features M."""
+    topology = topology if topology is not None else kiel_testbed()
+    profile = profile if profile is not None else TrainingProfile.fast()
+    return _sweep(
+        "history",
+        values,
+        topology,
+        models_per_value,
+        profile,
+        training_episodes,
+        evaluation_episodes,
+        evaluation_repeats,
+        data_dir,
+        seed,
+    )

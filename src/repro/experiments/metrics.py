@@ -1,0 +1,117 @@
+"""Metric aggregation helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """Aggregate of the paper's two headline metrics plus energy.
+
+    Attributes
+    ----------
+    reliability:
+        Fraction of expected packet receptions that succeeded.
+    reliability_std:
+        Standard deviation of the per-round reliability (the error bars
+        of Fig. 5 and Fig. 7).
+    radio_on_ms:
+        Radio-on time per slot, averaged over nodes and slots.
+    radio_on_std_ms:
+        Standard deviation of the per-round radio-on time.
+    energy_j:
+        Total network energy (only meaningful for experiments that track
+        it, e.g. the D-Cube comparison of Fig. 7b).
+    rounds:
+        Number of rounds aggregated.
+    """
+
+    reliability: float
+    reliability_std: float
+    radio_on_ms: float
+    radio_on_std_ms: float
+    energy_j: float = 0.0
+    rounds: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, convenient for table printing."""
+        return {
+            "reliability": self.reliability,
+            "reliability_std": self.reliability_std,
+            "radio_on_ms": self.radio_on_ms,
+            "radio_on_std_ms": self.radio_on_std_ms,
+            "energy_j": self.energy_j,
+            "rounds": float(self.rounds),
+        }
+
+
+def summarize_rounds(
+    reliabilities: Sequence[float],
+    radio_on_ms: Sequence[float],
+    energy_j: float = 0.0,
+) -> ExperimentMetrics:
+    """Aggregate per-round reliability and radio-on series into metrics."""
+    if len(reliabilities) != len(radio_on_ms):
+        raise ValueError("reliabilities and radio_on_ms must have the same length")
+    if not reliabilities:
+        return ExperimentMetrics(1.0, 0.0, 0.0, 0.0, energy_j, 0)
+    rel = np.asarray(reliabilities, dtype=float)
+    radio = np.asarray(radio_on_ms, dtype=float)
+    return ExperimentMetrics(
+        reliability=float(rel.mean()),
+        reliability_std=float(rel.std()),
+        radio_on_ms=float(radio.mean()),
+        radio_on_std_ms=float(radio.std()),
+        energy_j=float(energy_j),
+        rounds=len(reliabilities),
+    )
+
+
+def summarize_protocol_history(history: Iterable, energy_j: float = 0.0) -> ExperimentMetrics:
+    """Aggregate the ``history`` of any protocol runner in this repository.
+
+    Every protocol (Dimmer, static LWB, PID) exposes a history of
+    per-round summaries with ``reliability`` and ``average_radio_on_ms``
+    attributes; this helper turns such a history into
+    :class:`ExperimentMetrics`.
+    """
+    reliabilities: List[float] = []
+    radio_on: List[float] = []
+    for entry in history:
+        reliabilities.append(float(entry.reliability))
+        radio_on.append(float(entry.average_radio_on_ms))
+    return summarize_rounds(reliabilities, radio_on, energy_j=energy_j)
+
+
+@dataclass
+class TimeSeries:
+    """A labelled time series (one line of a timeline figure)."""
+
+    label: str
+    times_s: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time_s: float, value: float) -> None:
+        """Append one sample."""
+        self.times_s.append(float(time_s))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        """Mean of the series values (0.0 when empty)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def window_average(self, start_s: float, end_s: float) -> float:
+        """Mean of the values whose timestamps fall within [start_s, end_s)."""
+        selected = [
+            value
+            for time_s, value in zip(self.times_s, self.values)
+            if start_s <= time_s < end_s
+        ]
+        return float(np.mean(selected)) if selected else 0.0

@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep the formatting consistent across
+all benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Format a simple fixed-width text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(
+    label: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Format one figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    lines = [f"series: {label} ({x_name} -> {y_name})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>10.3f}  {y:>10.3f}")
+    return "\n".join(lines)
+
+
+def format_metrics_table(
+    metrics_by_label: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Format a {label: {metric: value}} mapping as a table."""
+    headers = ["protocol", *columns]
+    rows = []
+    for label, metrics in metrics_by_label.items():
+        rows.append([label, *[metrics.get(column, float("nan")) for column in columns]])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,182 @@
+"""Interference scenarios of the paper's evaluation (§V-A).
+
+Three scenario families are used throughout §V:
+
+* **No interference** — night-time runs on channel 26.
+* **Controlled 802.15.4 interference** — two TelosB jammers inject 13 ms
+  bursts at 0 dBm; the interference ratio is the burst duty cycle
+  (10 % = one burst every 130 ms, 35 % = one every 37 ms).
+* **D-Cube WiFi interference** — the public testbed's controlled WiFi
+  generators at levels 1 and 2.
+
+This module builds the corresponding interference environments for a
+given topology, plus the §V-C dynamic timeline (calm → 30 % jamming →
+calm → 5 % jamming → calm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.interference import (
+    AmbientInterference,
+    BurstJammer,
+    CompositeInterference,
+    InterferenceSource,
+    NoInterference,
+    WifiInterference,
+)
+from repro.net.topology import Topology
+
+#: Ambient background level used for day-time runs on the office testbed.
+#: Matches the background level used during trace collection, so that the
+#: deployed DQN sees the conditions it was trained for.
+DAYTIME_AMBIENT_RATE = 0.08
+
+
+def no_interference() -> InterferenceSource:
+    """Night-time, interference-free scenario."""
+    return NoInterference()
+
+
+def ambient_interference(rate: float = DAYTIME_AMBIENT_RATE, seed: int = 11) -> InterferenceSource:
+    """Uncontrolled office WiFi/Bluetooth background (day-time runs)."""
+    return AmbientInterference(rate=rate, seed=seed)
+
+
+def jamming_interference(
+    topology: Topology,
+    interference_ratio: float,
+    ambient_rate: float = DAYTIME_AMBIENT_RATE,
+    channels: Optional[Sequence[int]] = None,
+    seed: int = 11,
+) -> InterferenceSource:
+    """Controlled 802.15.4 jamming at ``interference_ratio`` duty cycle.
+
+    One :class:`~repro.net.interference.BurstJammer` is placed at every
+    jammer position of the topology (the two extra TelosB of Fig. 4a),
+    with phase offsets so the bursts are not synchronized.  A small
+    ambient component models the shared office spectrum.
+    """
+    sources: List[InterferenceSource] = []
+    if ambient_rate > 0.0:
+        sources.append(AmbientInterference(rate=ambient_rate, seed=seed))
+    if interference_ratio > 0.0:
+        positions = topology.jammers or (topology.positions[topology.coordinator],)
+        for index, position in enumerate(positions):
+            sources.append(
+                BurstJammer(
+                    position=position,
+                    interference_ratio=interference_ratio,
+                    channels=tuple(channels) if channels is not None else None,
+                    phase_ms=7.0 * index,
+                )
+            )
+    if not sources:
+        return NoInterference()
+    return CompositeInterference(sources)
+
+
+def dcube_wifi_interference(
+    topology: Topology,
+    level: int,
+    seed: int = 23,
+) -> InterferenceSource:
+    """D-Cube WiFi interference at severity ``level`` (1 or 2).
+
+    Access points are placed at the topology's jammer positions (spread
+    over the deployment, as on the real testbed); level 0 returns the
+    interference-free environment.
+    """
+    if level == 0:
+        return NoInterference()
+    positions = list(topology.jammers) if topology.jammers else None
+    return WifiInterference(level=level, positions=positions, seed=seed)
+
+
+@dataclass
+class DynamicInterferenceScenario:
+    """A scripted timeline of interference segments (Fig. 4c / 4d).
+
+    Attributes
+    ----------
+    segments:
+        Consecutive ``(duration_s, interference_ratio)`` entries.
+    topology:
+        Deployment the jammers are placed on.
+    ambient_rate:
+        Background interference present throughout the experiment.
+    """
+
+    topology: Topology
+    segments: Sequence[Tuple[float, float]]
+    ambient_rate: float = DAYTIME_AMBIENT_RATE
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("the scenario needs at least one segment")
+        for duration, ratio in self.segments:
+            if duration <= 0:
+                raise ValueError("segment durations must be positive")
+            if not 0.0 <= ratio <= 1.0:
+                raise ValueError("interference ratios must be in [0, 1]")
+
+    @property
+    def total_duration_s(self) -> float:
+        """Total scenario duration in seconds."""
+        return sum(duration for duration, _ in self.segments)
+
+    def ratio_at(self, time_s: float) -> float:
+        """Interference ratio active at ``time_s`` into the scenario."""
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        elapsed = 0.0
+        for duration, ratio in self.segments:
+            if time_s < elapsed + duration:
+                return ratio
+            elapsed += duration
+        return self.segments[-1][1]
+
+    def interference_at(self, time_s: float) -> InterferenceSource:
+        """Interference environment active at ``time_s`` into the scenario."""
+        return jamming_interference(
+            self.topology,
+            self.ratio_at(time_s),
+            ambient_rate=self.ambient_rate,
+            seed=self.seed,
+        )
+
+    def num_rounds(self, round_period_s: float) -> int:
+        """Number of rounds the scenario spans at a given round period."""
+        if round_period_s <= 0:
+            raise ValueError("round_period_s must be positive")
+        return int(self.total_duration_s / round_period_s)
+
+
+def paper_dynamic_scenario(
+    topology: Topology,
+    time_scale: float = 1.0,
+    ambient_rate: float = DAYTIME_AMBIENT_RATE,
+) -> DynamicInterferenceScenario:
+    """The §V-C dynamic-interference timeline.
+
+    7 min calm → 5 min of 30 % jamming → 5 min calm → 5 min of 5 %
+    jamming → 5 min calm (27 minutes total).  ``time_scale`` < 1
+    compresses the timeline proportionally, which keeps the shape of
+    Fig. 4c/4d while letting tests and benchmarks run quickly.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    minutes = 60.0 * time_scale
+    segments = (
+        (7 * minutes, 0.0),
+        (5 * minutes, 0.30),
+        (5 * minutes, 0.0),
+        (5 * minutes, 0.05),
+        (5 * minutes, 0.0),
+    )
+    return DynamicInterferenceScenario(
+        topology=topology, segments=segments, ambient_rate=ambient_rate
+    )

@@ -1,0 +1,280 @@
+"""Offline DQN training pipeline.
+
+Reproduces the paper's training procedure end to end:
+
+1. **Trace collection** — scripted jamming episodes are executed on the
+   (simulated) 18-node testbed; for every decision point the outcome of
+   every retransmission parameter is recorded
+   (:class:`~repro.rl.trace_env.TraceRecorder`).
+2. **DQN training** — a :class:`~repro.rl.dqn.DQNAgent` is trained
+   offline on the trace-replay environment with epsilon-greedy
+   exploration annealed linearly and a discount factor of 0.7.
+3. **Quantization** — the trained network is converted to the
+   fixed-point representation deployed on the coordinator.
+
+Because trace collection and training take a little while, artifacts
+(trace sets and trained weights) are cached on disk; the repository
+ships a pretrained network so that the evaluation benchmarks run out of
+the box.  ``load_pretrained_agent()`` transparently falls back to
+training a fresh agent when no artifact matches the requested
+configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.net.topology import Topology, kiel_testbed
+from repro.net.trace import TraceSet
+from repro.rl.dqn import DQNAgent, DQNConfig, EpsilonSchedule
+from repro.rl.features import FeatureConfig
+from repro.rl.qnetwork import QNetwork
+from repro.rl.reward import RewardConfig
+from repro.rl.trace_env import (
+    DEFAULT_TRAINING_EPISODES,
+    EpisodeSpec,
+    TraceEnvironment,
+    TraceRecorder,
+)
+
+
+def default_data_dir() -> Path:
+    """Directory where pretrained artifacts are stored (shipped with the package)."""
+    return Path(__file__).resolve().parent.parent / "data"
+
+
+@dataclass(frozen=True)
+class TrainingProfile:
+    """How much effort to spend on trace collection and training.
+
+    The ``paper`` profile mirrors §IV-B (200 000 iterations, annealing
+    over 100 000 steps); the ``standard`` profile is what the shipped
+    pretrained model uses; ``fast`` is meant for tests.
+    """
+
+    name: str
+    trace_repetitions: int
+    training_iterations: int
+    anneal_steps: int
+
+    @classmethod
+    def paper(cls) -> "TrainingProfile":
+        """The paper's training budget."""
+        return cls("paper", trace_repetitions=6, training_iterations=200_000, anneal_steps=100_000)
+
+    @classmethod
+    def standard(cls) -> "TrainingProfile":
+        """Budget used for the pretrained artifact shipped with the repo."""
+        return cls("standard", trace_repetitions=3, training_iterations=60_000, anneal_steps=30_000)
+
+    @classmethod
+    def fast(cls) -> "TrainingProfile":
+        """Small budget for unit tests and quick experiments."""
+        return cls("fast", trace_repetitions=1, training_iterations=8_000, anneal_steps=4_000)
+
+
+@dataclass
+class TrainingPipeline:
+    """Trace collection + offline DQN training with on-disk caching.
+
+    Parameters
+    ----------
+    topology:
+        Training deployment (defaults to the 18-node testbed, as in the
+        paper — §V-E then evaluates the resulting network on D-Cube
+        without retraining).
+    feature_config:
+        State-encoding configuration (K, M, N_max) of the DQN to train.
+    profile:
+        Effort profile.
+    episodes:
+        Episode scripts used for trace collection.
+    data_dir:
+        Artifact cache directory.
+    seed:
+        Master seed for trace collection and training.
+    """
+
+    topology: Topology = field(default_factory=kiel_testbed)
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+    profile: TrainingProfile = field(default_factory=TrainingProfile.standard)
+    episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES
+    ambient_rate: float = 0.02
+    data_dir: Path = field(default_factory=default_data_dir)
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+    def _trace_key(self) -> str:
+        payload = {
+            "topology": self.topology.name,
+            "nodes": self.topology.num_nodes,
+            "episodes": [list(map(list, ep)) for ep in self.episodes],
+            "repetitions": self.profile.trace_repetitions,
+            "ambient": self.ambient_rate,
+            "n_max": self.feature_config.n_max,
+            "seed": self.seed,
+        }
+        digest = hashlib.sha1(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:12]
+        return f"traces_{self.topology.name}_{digest}.json"
+
+    def _model_key(self) -> str:
+        config = self.feature_config
+        payload = {
+            "trace": self._trace_key(),
+            "k": config.num_input_nodes,
+            "m": config.history_size,
+            "n_max": config.n_max,
+            "iterations": self.profile.training_iterations,
+            "anneal": self.profile.anneal_steps,
+            "seed": self.seed,
+        }
+        digest = hashlib.sha1(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:12]
+        return (
+            f"dqn_k{config.num_input_nodes}_m{config.history_size}"
+            f"_{self.profile.name}_{digest}.json"
+        )
+
+    def trace_path(self) -> Path:
+        """Path of the cached trace set for this pipeline configuration."""
+        return self.data_dir / self._trace_key()
+
+    def model_path(self) -> Path:
+        """Path of the cached trained network for this pipeline configuration."""
+        return self.data_dir / self._model_key()
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def collect_traces(self, force: bool = False) -> TraceSet:
+        """Collect (or load cached) training traces."""
+        path = self.trace_path()
+        if path.exists() and not force:
+            return TraceSet.load(path)
+        recorder = TraceRecorder(
+            topology=self.topology,
+            n_max=self.feature_config.n_max,
+            ambient_rate=self.ambient_rate,
+            seed=self.seed,
+        )
+        trace = recorder.record(episodes=self.episodes, repetitions=self.profile.trace_repetitions)
+        trace.save(path)
+        return trace
+
+    def build_environment(self, trace: Optional[TraceSet] = None) -> TraceEnvironment:
+        """Build the offline training environment over the traces."""
+        trace = trace if trace is not None else self.collect_traces()
+        return TraceEnvironment(
+            trace,
+            feature_config=self.feature_config,
+            reward_config=RewardConfig(n_max=self.feature_config.n_max),
+            initial_n_tx=None,
+            seed=self.seed + 7,
+        )
+
+    def agent_config(self) -> DQNConfig:
+        """DQN hyper-parameters for this feature configuration."""
+        return DQNConfig(
+            state_size=self.feature_config.input_size,
+            epsilon=EpsilonSchedule(anneal_steps=self.profile.anneal_steps),
+            seed=self.seed,
+        )
+
+    def train(self, force: bool = False) -> Tuple[DQNAgent, TraceSet]:
+        """Run the full pipeline and return (trained agent, traces).
+
+        Cached weights are loaded when available (unless ``force``).
+        """
+        trace = self.collect_traces(force=force)
+        agent = DQNAgent(self.agent_config())
+        model_path = self.model_path()
+        if model_path.exists() and not force:
+            agent.load(model_path)
+            return agent, trace
+        environment = self.build_environment(trace)
+        agent.train(environment, iterations=self.profile.training_iterations)
+        model_path.parent.mkdir(parents=True, exist_ok=True)
+        agent.save(model_path)
+        return agent, trace
+
+
+#: File name of the pretrained network shipped with the repository
+#: (paper configuration: K=10, M=2, trained with the standard profile).
+PRETRAINED_FILENAME = "pretrained_dqn_k10_m2.json"
+
+
+def load_pretrained_agent(
+    feature_config: Optional[FeatureConfig] = None,
+    data_dir: Optional[Path] = None,
+    allow_training: bool = True,
+    profile: Optional[TrainingProfile] = None,
+    seed: int = 0,
+) -> DQNAgent:
+    """Load the pretrained Dimmer DQN, training one if necessary.
+
+    With the default (paper) feature configuration the network shipped
+    at ``src/repro/data/pretrained_dqn_k10_m2.json`` is used.  For other
+    configurations — or when the artifact is missing and
+    ``allow_training`` is True — a fresh agent is trained with the given
+    profile and cached for subsequent calls.
+    """
+    feature_config = feature_config if feature_config is not None else FeatureConfig()
+    data_dir = data_dir if data_dir is not None else default_data_dir()
+    is_paper_config = (
+        feature_config.num_input_nodes == 10
+        and feature_config.history_size == 2
+        and feature_config.n_max == 8
+    )
+    if is_paper_config:
+        path = data_dir / PRETRAINED_FILENAME
+        if path.exists():
+            agent = DQNAgent(
+                DQNConfig(
+                    state_size=feature_config.input_size,
+                    epsilon=EpsilonSchedule(anneal_steps=1),
+                    seed=seed,
+                )
+            )
+            agent.load(path)
+            return agent
+    if not allow_training:
+        raise FileNotFoundError(
+            "no pretrained network available for the requested configuration "
+            f"(K={feature_config.num_input_nodes}, M={feature_config.history_size})"
+        )
+    pipeline = TrainingPipeline(
+        feature_config=feature_config,
+        profile=profile if profile is not None else TrainingProfile.fast(),
+        data_dir=data_dir,
+        seed=seed,
+    )
+    agent, _ = pipeline.train()
+    return agent
+
+
+def export_pretrained(
+    profile: Optional[TrainingProfile] = None,
+    data_dir: Optional[Path] = None,
+    seed: int = 0,
+) -> Path:
+    """Train the paper-configuration DQN and store it as the shipped artifact.
+
+    This is the maintenance entry point used to (re)generate
+    ``pretrained_dqn_k10_m2.json``; examples and benchmarks only read it.
+    """
+    data_dir = data_dir if data_dir is not None else default_data_dir()
+    pipeline = TrainingPipeline(
+        feature_config=FeatureConfig(),
+        profile=profile if profile is not None else TrainingProfile.standard(),
+        data_dir=data_dir,
+        seed=seed,
+    )
+    agent, _ = pipeline.train()
+    target = data_dir / PRETRAINED_FILENAME
+    agent.save(target)
+    return target

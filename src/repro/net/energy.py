@@ -1,0 +1,95 @@
+"""Radio-on-time and energy accounting.
+
+The paper's two headline metrics are reliability and radio-on time (the
+time the radio spent listening or transmitting per slot, averaged over
+all slots, counting slots in which no packet was received).  Energy in
+Fig. 7b is derived from the accumulated radio-on time via the radio's
+power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.radio import RadioModel
+
+
+@dataclass
+class RadioOnTracker:
+    """Per-node accumulator of radio-on time.
+
+    Tracks both a bounded window of recent slots (used for the Dimmer
+    feedback header, which reports the radio-on time averaged over the
+    last floods) and lifetime totals (used for energy accounting).
+    """
+
+    window: int = 8
+    _recent_ms: List[float] = field(default_factory=list, repr=False)
+    total_ms: float = 0.0
+    slot_count: int = 0
+
+    def record_slot(self, radio_on_ms: float) -> None:
+        """Record the radio-on time of one slot."""
+        if radio_on_ms < 0:
+            raise ValueError("radio_on_ms must be non-negative")
+        self._recent_ms.append(radio_on_ms)
+        if len(self._recent_ms) > self.window:
+            self._recent_ms.pop(0)
+        self.total_ms += radio_on_ms
+        self.slot_count += 1
+
+    @property
+    def recent_average_ms(self) -> float:
+        """Radio-on time averaged over the last ``window`` slots."""
+        if not self._recent_ms:
+            return 0.0
+        return sum(self._recent_ms) / len(self._recent_ms)
+
+    @property
+    def lifetime_average_ms(self) -> float:
+        """Radio-on time averaged over every slot ever recorded."""
+        if self.slot_count == 0:
+            return 0.0
+        return self.total_ms / self.slot_count
+
+    def reset_recent(self) -> None:
+        """Clear the recent window (totals are preserved)."""
+        self._recent_ms.clear()
+
+
+@dataclass
+class EnergyModel:
+    """Converts accumulated radio-on time into energy figures.
+
+    Parameters
+    ----------
+    radio:
+        Electrical model of the radio.
+    tx_fraction:
+        Approximate share of the radio-on time spent transmitting
+        (Glossy alternates RX and TX phases).
+    """
+
+    radio: RadioModel = field(default_factory=RadioModel)
+    tx_fraction: float = 0.3
+
+    def slot_energy_mj(self, radio_on_ms: float) -> float:
+        """Energy of a single slot given its radio-on time."""
+        return self.radio.radio_on_energy_mj(radio_on_ms, self.tx_fraction)
+
+    def node_energy_j(self, tracker: RadioOnTracker) -> float:
+        """Lifetime energy of one node in joules."""
+        return self.radio.radio_on_energy_mj(tracker.total_ms, self.tx_fraction) / 1000.0
+
+    def network_energy_j(self, trackers: Dict[int, RadioOnTracker]) -> float:
+        """Total energy across all nodes in joules (the Fig. 7b metric)."""
+        return sum(self.node_energy_j(tracker) for tracker in trackers.values())
+
+    def network_average_radio_on_ms(self, trackers: Dict[int, RadioOnTracker]) -> float:
+        """Average per-slot radio-on time across all nodes and slots."""
+        total_ms = sum(t.total_ms for t in trackers.values())
+        slots = sum(t.slot_count for t in trackers.values())
+        if slots == 0:
+            return 0.0
+        return total_ms / slots

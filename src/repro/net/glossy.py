@@ -1,0 +1,275 @@
+"""Glossy synchronous-transmission floods.
+
+Glossy floods a packet through the whole network within a single slot:
+the initiator transmits, every node that receives the packet
+retransmits it in the immediately following transmission phase, and
+nodes alternate between reception and transmission until they have
+transmitted the packet ``N_TX`` times.  Because all retransmitters send
+bit-identical packets within sub-microsecond synchronization, concurrent
+transmissions interfere constructively (capture effect) and the flood
+propagates one hop per phase.
+
+This module simulates a flood at phase granularity: a phase is one
+packet airtime plus the RX/TX turnaround.  The simulation produces, for
+every participating node, whether it received the packet, in which
+phase, how many times it transmitted, and how long its radio stayed on
+— exactly the observables Dimmer's feedback loop is built on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.net.interference import InterferenceSource, NoInterference
+from repro.net.link import LinkModel
+from repro.net.packet import DEFAULT_PACKET_BYTES
+from repro.net.radio import RadioModel
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class FloodResult:
+    """Outcome of one Glossy flood (one slot).
+
+    Attributes
+    ----------
+    initiator:
+        Node that originated the flood.
+    received:
+        Per-node flag: did the node decode the packet at least once?
+    reception_phase:
+        Phase index of the first successful reception (``None`` if the
+        node never received; 0 for the initiator itself).
+    transmissions:
+        Number of times each node transmitted the packet.
+    radio_on_ms:
+        Radio-on time of each node during the slot.
+    slot_duration_ms:
+        Slot length the flood was executed in.
+    channel:
+        Channel the flood was executed on.
+    """
+
+    initiator: int
+    received: Dict[int, bool]
+    reception_phase: Dict[int, Optional[int]]
+    transmissions: Dict[int, int]
+    radio_on_ms: Dict[int, float]
+    slot_duration_ms: float
+    channel: int
+
+    @property
+    def reliability(self) -> float:
+        """Fraction of non-initiator participants that received the packet."""
+        destinations = [n for n in self.received if n != self.initiator]
+        if not destinations:
+            return 1.0
+        return sum(1 for n in destinations if self.received[n]) / len(destinations)
+
+    @property
+    def average_radio_on_ms(self) -> float:
+        """Radio-on time averaged over every participant."""
+        if not self.radio_on_ms:
+            return 0.0
+        return sum(self.radio_on_ms.values()) / len(self.radio_on_ms)
+
+    def receivers(self) -> List[int]:
+        """Sorted list of nodes that successfully received the packet."""
+        return sorted(n for n, ok in self.received.items() if ok)
+
+    def non_receivers(self) -> List[int]:
+        """Sorted list of nodes that never received the packet."""
+        return sorted(n for n, ok in self.received.items() if not ok)
+
+
+class GlossyFlood:
+    """Phase-level simulator of a single Glossy flood.
+
+    Parameters
+    ----------
+    topology:
+        Deployment the flood runs over.
+    link_model:
+        Link-quality model used for per-phase reception draws.
+    radio:
+        Radio timing/energy model (phase duration, maximum slot length).
+    rng:
+        Random generator used for reception draws; pass a seeded
+        generator for reproducible floods.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_model: Optional[LinkModel] = None,
+        radio: Optional[RadioModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.topology = topology
+        self.link_model = link_model if link_model is not None else LinkModel(topology)
+        self.radio = radio if radio is not None else RadioModel()
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def _normalize_n_tx(
+        self,
+        n_tx: Union[int, Mapping[int, int]],
+        participants: Sequence[int],
+    ) -> Dict[int, int]:
+        """Expand a global N_TX value into a per-node mapping."""
+        if isinstance(n_tx, int):
+            if n_tx < 0:
+                raise ValueError("n_tx must be non-negative")
+            return {node: n_tx for node in participants}
+        per_node = {}
+        for node in participants:
+            value = n_tx.get(node, 0)
+            if value < 0:
+                raise ValueError("n_tx must be non-negative")
+            per_node[node] = value
+        return per_node
+
+    def run(
+        self,
+        initiator: int,
+        n_tx: Union[int, Mapping[int, int]] = 3,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        channel: int = 26,
+        start_ms: float = 0.0,
+        interference: Optional[InterferenceSource] = None,
+        participants: Optional[Sequence[int]] = None,
+        max_slot_ms: Optional[float] = None,
+    ) -> FloodResult:
+        """Simulate one Glossy flood and return its outcome.
+
+        Parameters
+        ----------
+        initiator:
+            The node that starts the flood (owns the data slot).
+        n_tx:
+            Either a single retransmission count applied to every node,
+            or a per-node mapping (the forwarder-selection case, where
+            passive receivers use 0).  The initiator always transmits at
+            least once, otherwise no flood would take place.
+        packet_bytes:
+            Total wire size of the flooded packet.
+        channel:
+            IEEE 802.15.4 channel of the slot.
+        start_ms:
+            Slot start on the global clock; used to align interference
+            bursts with the flood's phases.
+        interference:
+            Interference source (defaults to none).
+        participants:
+            Nodes taking part in the slot (defaults to every node);
+            non-participants keep their radio off and cannot receive.
+        max_slot_ms:
+            Slot length; the flood is truncated when it runs out of slot.
+        """
+        if participants is None:
+            participants = self.topology.node_ids
+        participants = list(participants)
+        if initiator not in participants:
+            raise ValueError(f"initiator {initiator} is not among the participants")
+        interference = interference if interference is not None else NoInterference()
+        slot_ms = max_slot_ms if max_slot_ms is not None else self.radio.max_slot_ms
+
+        per_node_n_tx = self._normalize_n_tx(n_tx, participants)
+        # The initiator must transmit at least once for the flood to exist.
+        per_node_n_tx[initiator] = max(1, per_node_n_tx[initiator])
+
+        phase_ms = self.radio.phase_duration_ms(packet_bytes)
+        num_phases = max(1, int(math.floor(slot_ms / phase_ms)))
+
+        received: Dict[int, bool] = {node: False for node in participants}
+        reception_phase: Dict[int, Optional[int]] = {node: None for node in participants}
+        transmissions: Dict[int, int] = {node: 0 for node in participants}
+        #: Phase in which a node transmits next (None = not scheduled yet).
+        next_tx_phase: Dict[int, Optional[int]] = {node: None for node in participants}
+        #: Phase after which the node switched its radio off (exclusive).
+        off_after_phase: Dict[int, Optional[int]] = {node: None for node in participants}
+
+        received[initiator] = True
+        reception_phase[initiator] = 0
+        next_tx_phase[initiator] = 0
+
+        for phase in range(num_phases):
+            transmitters = [
+                node
+                for node in participants
+                if next_tx_phase[node] == phase
+                and transmissions[node] < per_node_n_tx[node]
+                and off_after_phase[node] is None
+            ]
+            # Listeners: radio on, not transmitting in this phase.
+            listeners = [
+                node
+                for node in participants
+                if node not in transmitters and off_after_phase[node] is None
+            ]
+            phase_start = start_ms + phase * phase_ms
+            newly_received: List[int] = []
+            if transmitters:
+                for node in listeners:
+                    penalty = interference.penalty(
+                        self.topology.positions[node], phase_start, phase_ms, channel
+                    )
+                    probability = self.link_model.reception_probability(
+                        transmitters, node, interference_penalty=penalty
+                    )
+                    if probability > 0.0 and self.rng.random() < probability:
+                        if not received[node]:
+                            received[node] = True
+                            reception_phase[node] = phase
+                            newly_received.append(node)
+                        # Glossy re-synchronizes on every reception: schedule
+                        # (or re-arm) the next transmission for the following
+                        # phase if the node still has transmissions left.
+                        if (
+                            transmissions[node] < per_node_n_tx[node]
+                            and next_tx_phase[node] is None
+                        ):
+                            next_tx_phase[node] = phase + 1
+
+            for node in transmitters:
+                transmissions[node] += 1
+                if transmissions[node] < per_node_n_tx[node]:
+                    # Alternate: listen next phase, transmit the one after.
+                    next_tx_phase[node] = phase + 2
+                else:
+                    next_tx_phase[node] = None
+                    off_after_phase[node] = phase + 1
+
+            # Nodes that have received and have nothing left to transmit can
+            # switch off: passive receivers (N_TX = 0) right after their first
+            # reception, forwarders once their transmission budget is spent.
+            for node in participants:
+                if off_after_phase[node] is not None:
+                    continue
+                if received[node] and per_node_n_tx[node] == 0:
+                    off_after_phase[node] = phase + 1
+                elif (
+                    received[node]
+                    and transmissions[node] >= per_node_n_tx[node]
+                    and next_tx_phase[node] is None
+                ):
+                    off_after_phase[node] = phase + 1
+
+        radio_on_ms: Dict[int, float] = {}
+        for node in participants:
+            off = off_after_phase[node]
+            on_phases = num_phases if off is None else min(off, num_phases)
+            radio_on_ms[node] = min(slot_ms, on_phases * phase_ms)
+
+        return FloodResult(
+            initiator=initiator,
+            received=received,
+            reception_phase=reception_phase,
+            transmissions=transmissions,
+            radio_on_ms=radio_on_ms,
+            slot_duration_ms=slot_ms,
+            channel=channel,
+        )

@@ -1,0 +1,155 @@
+"""Wireless link model.
+
+Links between nodes are modelled with a log-distance path-loss model
+plus log-normal shadowing, mapped through a simplified CC2420 PRR
+(packet-reception-rate) curve.  Concurrent synchronous transmissions
+from multiple Glossy forwarders combine through the capture effect /
+constructive interference: the reception probability is the complement
+of all individual links failing, slightly boosted when transmitters are
+tightly synchronized (identical packets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Static quality of a directed link: PRR in the absence of interference."""
+
+    prr: float
+    distance_m: float
+    rssi_dbm: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prr <= 1.0:
+            raise ValueError("prr must be in [0, 1]")
+
+
+@dataclass
+class LinkModel:
+    """Distance-based link quality model.
+
+    Parameters
+    ----------
+    topology:
+        Deployment whose links are being modelled.
+    tx_power_dbm:
+        Transmission power (the paper transmits at 0 dBm).
+    path_loss_exponent:
+        Log-distance path-loss exponent; indoor office deployments
+        typically sit between 2.5 and 3.5.
+    shadowing_std_db:
+        Standard deviation of the per-link log-normal shadowing term.
+        Shadowing is drawn once per link (static obstacles).
+    noise_floor_dbm:
+        Receiver noise floor.
+    seed:
+        Seed for the per-link shadowing draw, making link qualities
+        reproducible for a given topology.
+    """
+
+    topology: Topology
+    tx_power_dbm: float = 0.0
+    path_loss_exponent: float = 3.0
+    reference_loss_db: float = 40.0
+    shadowing_std_db: float = 3.0
+    noise_floor_dbm: float = -94.0
+    capture_boost: float = 0.15
+    seed: Optional[int] = None
+    _shadowing: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
+    _cache: Dict[Tuple[int, int], LinkQuality] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        ids = self.topology.node_ids
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                shadow = float(rng.normal(0.0, self.shadowing_std_db))
+                # Shadowing is symmetric: the same obstacles sit on both
+                # directions of a link.
+                self._shadowing[(a, b)] = shadow
+                self._shadowing[(b, a)] = shadow
+
+    def rssi_dbm(self, sender: int, receiver: int) -> float:
+        """Received signal strength of ``sender`` at ``receiver``."""
+        distance = max(self.topology.distance(sender, receiver), 0.5)
+        path_loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(distance)
+        shadow = self._shadowing.get((sender, receiver), 0.0)
+        return self.tx_power_dbm - path_loss + shadow
+
+    def prr_from_snr(self, snr_db: float) -> float:
+        """Map an SNR to a packet reception rate with a logistic PRR curve.
+
+        The curve approximates the CC2420 waterfall region: PRR rises
+        from ~0 to ~1 over roughly 6 dB around an SNR of 4 dB.
+        """
+        return 1.0 / (1.0 + math.exp(-(snr_db - 4.0) * 1.2))
+
+    def link(self, sender: int, receiver: int) -> LinkQuality:
+        """Return the static quality of the directed link sender -> receiver."""
+        key = (sender, receiver)
+        if key in self._cache:
+            return self._cache[key]
+        distance = self.topology.distance(sender, receiver)
+        if distance > self.topology.comm_range_m:
+            quality = LinkQuality(prr=0.0, distance_m=distance, rssi_dbm=-float("inf"))
+        else:
+            rssi = self.rssi_dbm(sender, receiver)
+            snr = rssi - self.noise_floor_dbm
+            prr = self.prr_from_snr(snr)
+            quality = LinkQuality(prr=prr, distance_m=distance, rssi_dbm=rssi)
+        self._cache[key] = quality
+        return quality
+
+    def prr(self, sender: int, receiver: int) -> float:
+        """Packet reception rate of the directed link sender -> receiver."""
+        return self.link(sender, receiver).prr
+
+    def reception_probability(
+        self,
+        transmitters: Iterable[int],
+        receiver: int,
+        interference_penalty: float = 0.0,
+    ) -> float:
+        """Probability that ``receiver`` decodes a synchronized transmission.
+
+        ``transmitters`` are Glossy forwarders sending the *same* packet in
+        the same phase.  Constructive interference / the capture effect
+        means that having several synchronized transmitters helps: the
+        reception fails only if every individual link fails, and a small
+        ``capture_boost`` rewards redundancy.  ``interference_penalty``
+        in [0, 1] scales down the success probability to account for a
+        colliding interference burst (1.0 means fully jammed).
+        """
+        if not 0.0 <= interference_penalty <= 1.0:
+            raise ValueError("interference_penalty must be in [0, 1]")
+        prrs = [self.prr(tx, receiver) for tx in transmitters if tx != receiver]
+        if not prrs:
+            return 0.0
+        failure = 1.0
+        for prr in prrs:
+            failure *= 1.0 - prr
+        success = 1.0 - failure
+        if len(prrs) > 1 and success > 0.0:
+            success = min(1.0, success * (1.0 + self.capture_boost))
+        return success * (1.0 - interference_penalty)
+
+    def usable_links(self, min_prr: float = 0.1) -> Dict[Tuple[int, int], LinkQuality]:
+        """All directed links whose interference-free PRR exceeds ``min_prr``."""
+        links: Dict[Tuple[int, int], LinkQuality] = {}
+        for a in self.topology.node_ids:
+            for b in self.topology.node_ids:
+                if a == b:
+                    continue
+                quality = self.link(a, b)
+                if quality.prr >= min_prr:
+                    links[(a, b)] = quality
+        return links

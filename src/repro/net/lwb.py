@@ -1,0 +1,425 @@
+"""Low-power Wireless Bus (LWB) round engine.
+
+LWB turns a multi-hop network into a logical shared bus: a coordinator
+(host) schedules periodic communication rounds.  A round starts with a
+control slot in which the coordinator floods the schedule (and, in
+Dimmer, the new retransmission parameter or a forwarder-selection
+command); a series of data slots follows, one per scheduled source,
+each executed as a Glossy flood.
+
+Nodes that fail to decode the schedule are unsynchronized for that
+round: they cannot participate in the data slots, miss every packet and
+keep their radio on trying to re-synchronize — which is exactly why
+plain LWB's energy consumption rises under interference (§V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.net.channels import ChannelHopper
+from repro.net.glossy import FloodResult, GlossyFlood
+from repro.net.interference import InterferenceSource, NoInterference
+from repro.net.link import LinkModel
+from repro.net.node import Node, NodeRole
+from repro.net.packet import (
+    DEFAULT_PACKET_BYTES,
+    DataPacket,
+    DimmerFeedbackHeader,
+    SchedulePacket,
+)
+from repro.net.radio import RadioModel
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Round schedule computed by the coordinator.
+
+    Attributes
+    ----------
+    round_index:
+        Monotonically increasing round counter.
+    n_tx:
+        Global retransmission parameter to apply for this round.
+    slots:
+        Source node of each data slot, in slot order.
+    forwarder_selection:
+        When True, the coordinator signals an interference-free round in
+        which the designated ``learning_node`` may run its local
+        multi-armed bandit learning step.
+    learning_node:
+        Node allowed to (re)draw its forwarder/passive role this round.
+    """
+
+    round_index: int
+    n_tx: int
+    slots: Sequence[int]
+    forwarder_selection: bool = False
+    learning_node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_tx < 0:
+            raise ValueError("n_tx must be non-negative")
+
+    def to_packet(self, coordinator: int) -> SchedulePacket:
+        """Serialize the schedule into its control-slot packet."""
+        return SchedulePacket(
+            source=coordinator,
+            n_tx=self.n_tx,
+            slots=tuple(self.slots),
+            forwarder_selection=self.forwarder_selection,
+            learning_node=self.learning_node,
+            round_index=self.round_index,
+        )
+
+
+@dataclass(frozen=True)
+class SlotResult:
+    """Outcome of one data slot."""
+
+    slot_index: int
+    source: int
+    channel: int
+    flood: FloodResult
+    feedback: Optional[DimmerFeedbackHeader] = None
+    acknowledged: bool = True
+
+    @property
+    def reliability(self) -> float:
+        """Fraction of destinations that received the slot's packet."""
+        return self.flood.reliability
+
+
+@dataclass
+class RoundResult:
+    """Outcome of a full LWB/Dimmer round."""
+
+    round_index: int
+    schedule: Schedule
+    start_ms: float
+    control_flood: FloodResult
+    slots: List[SlotResult]
+    synchronized: Dict[int, bool]
+    radio_on_ms: Dict[int, float] = field(default_factory=dict)
+    packets_expected: Dict[int, int] = field(default_factory=dict)
+    packets_received: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes accounted for in this round."""
+        return len(self.synchronized)
+
+    @property
+    def reliability(self) -> float:
+        """Network-wide reliability: received / expected over all destinations."""
+        expected = sum(self.packets_expected.values())
+        if expected == 0:
+            return 1.0
+        return sum(self.packets_received.values()) / expected
+
+    @property
+    def had_losses(self) -> bool:
+        """True when at least one scheduled packet was missed by a destination."""
+        return self.reliability < 1.0
+
+    def per_node_reliability(self) -> Dict[int, float]:
+        """Reliability of each node over this round's data slots."""
+        result = {}
+        for node, expected in self.packets_expected.items():
+            if expected == 0:
+                result[node] = 1.0
+            else:
+                result[node] = self.packets_received[node] / expected
+        return result
+
+    @property
+    def average_radio_on_ms(self) -> float:
+        """Radio-on time per slot, averaged over all nodes and slots of the round."""
+        num_slots = len(self.slots) + 1  # control slot included
+        if not self.radio_on_ms or num_slots == 0:
+            return 0.0
+        per_node = [total / num_slots for total in self.radio_on_ms.values()]
+        return float(np.mean(per_node))
+
+    def per_node_radio_on_ms(self) -> Dict[int, float]:
+        """Per-slot radio-on time of each node, averaged over this round."""
+        num_slots = len(self.slots) + 1
+        return {node: total / num_slots for node, total in self.radio_on_ms.items()}
+
+
+#: Alias kept for API clarity: a "round" object is its result.
+LWBRound = RoundResult
+
+
+def build_observer_view(
+    result: RoundResult,
+    observer: int,
+    expected_nodes: Optional[Sequence[int]] = None,
+    pessimistic_radio_on_ms: float = 20.0,
+) -> Dict[str, Dict[int, float]]:
+    """Reconstruct what ``observer`` legitimately knows after a round.
+
+    Dimmer closes its feedback loop through the two-byte headers carried
+    by data packets: an observer only knows the performance of nodes
+    whose packet it received this round; every other scheduled node is
+    filled in pessimistically (0 % reliability, 100 % radio-on time) and
+    reported under ``"missing"``.  The observer's own statistics are
+    exact.  This helper is shared by the coordinator-side statistics
+    collector, the trace recorder (so training data has the same
+    distribution as deployment inputs) and the simulation training
+    environment.
+
+    Returns a dict with keys ``"reliability"``, ``"radio_on_ms"`` and
+    ``"missing"`` (the latter mapping node -> 1.0 markers).
+    """
+    reliabilities: Dict[int, float] = {}
+    radio_on: Dict[int, float] = {}
+    missing: Dict[int, float] = {}
+
+    received_feedback: Dict[int, DimmerFeedbackHeader] = {}
+    for slot in result.slots:
+        if slot.feedback is None:
+            continue
+        if slot.flood.received.get(observer, False) or slot.source == observer:
+            received_feedback[slot.source] = slot.feedback
+
+    scheduled = set(result.schedule.slots)
+    if expected_nodes is not None:
+        scheduled &= set(expected_nodes)
+    scheduled.add(observer)
+
+    num_slots = len(result.slots) + 1
+    for node in sorted(scheduled):
+        if node == observer:
+            expected = result.packets_expected.get(node, 0)
+            received = result.packets_received.get(node, 0)
+            reliabilities[node] = 1.0 if expected == 0 else received / expected
+            radio_on[node] = result.radio_on_ms.get(node, 0.0) / num_slots
+        elif node in received_feedback:
+            reliabilities[node] = received_feedback[node].reliability
+            radio_on[node] = received_feedback[node].radio_on_ms
+        else:
+            reliabilities[node] = 0.0
+            radio_on[node] = pessimistic_radio_on_ms
+            missing[node] = 1.0
+    return {"reliability": reliabilities, "radio_on_ms": radio_on, "missing": missing}
+
+
+class LWBRoundEngine:
+    """Executes LWB rounds slot by slot on top of Glossy floods.
+
+    Parameters
+    ----------
+    topology:
+        Deployment to run over.
+    link_model, radio:
+        Link-quality and radio models (defaults derived from the topology).
+    hopper:
+        Channel hopper; disable it (``ChannelHopper(enabled=False)``) for
+        the single-channel LWB baseline.
+    slot_ms:
+        Maximum duration of a slot (20 ms in the paper).
+    slot_gap_ms:
+        Processing gap between consecutive slots.
+    packet_bytes:
+        Application packet size (30 bytes in the paper).
+    rng:
+        Random generator shared by all floods of this engine.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_model: Optional[LinkModel] = None,
+        radio: Optional[RadioModel] = None,
+        hopper: Optional[ChannelHopper] = None,
+        slot_ms: float = 20.0,
+        slot_gap_ms: float = 2.0,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if slot_ms <= 0:
+            raise ValueError("slot_ms must be positive")
+        self.topology = topology
+        self.link_model = link_model if link_model is not None else LinkModel(topology)
+        self.radio = radio if radio is not None else RadioModel()
+        self.hopper = hopper if hopper is not None else ChannelHopper()
+        self.slot_ms = slot_ms
+        self.slot_gap_ms = slot_gap_ms
+        self.packet_bytes = packet_bytes
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._flood = GlossyFlood(topology, self.link_model, self.radio, self.rng)
+
+    def round_airtime_ms(self, num_data_slots: int) -> float:
+        """Total on-air duration of a round with ``num_data_slots`` data slots."""
+        slots = num_data_slots + 1
+        return slots * self.slot_ms + max(0, slots - 1) * self.slot_gap_ms
+
+    def _slot_start_ms(self, round_start_ms: float, slot_index: int) -> float:
+        """Global start time of slot ``slot_index`` (0 = control slot)."""
+        return round_start_ms + slot_index * (self.slot_ms + self.slot_gap_ms)
+
+    def run_round(
+        self,
+        nodes: Mapping[int, Node],
+        schedule: Schedule,
+        start_ms: float = 0.0,
+        interference: Optional[InterferenceSource] = None,
+        collect_feedback: bool = True,
+        destinations: Optional[Sequence[int]] = None,
+    ) -> RoundResult:
+        """Execute one LWB round.
+
+        Parameters
+        ----------
+        nodes:
+            Node objects keyed by id; their roles and ``n_tx`` values are
+            read (passive receivers flood with ``N_TX = 0``), and their
+            statistics and overheard feedback are updated in place.
+        schedule:
+            The schedule computed by the coordinator for this round.
+        start_ms:
+            Round start on the global clock.
+        interference:
+            Interference source active during the round.
+        collect_feedback:
+            When True, data packets carry the source's Dimmer feedback
+            header and receivers record it (Dimmer); when False, packets
+            are plain LWB packets.
+        destinations:
+            When given, reliability is only accounted at these nodes
+            (the D-Cube data-collection scenario has a single sink);
+            ``None`` means broadcast semantics (every node is a
+            destination of every packet).
+        """
+        interference = interference if interference is not None else NoInterference()
+        coordinator = self.topology.coordinator
+        all_ids = list(nodes.keys())
+
+        # --- Control slot: flood the schedule from the coordinator. -----
+        control_channel = self.hopper.control_channel()
+        control_packet = schedule.to_packet(coordinator)
+        control_flood = self._flood.run(
+            initiator=coordinator,
+            n_tx=max(schedule.n_tx, 1),
+            packet_bytes=control_packet.total_bytes,
+            channel=control_channel,
+            start_ms=self._slot_start_ms(start_ms, 0),
+            interference=interference,
+            participants=all_ids,
+            max_slot_ms=self.slot_ms,
+        )
+        synchronized = {node: control_flood.received.get(node, False) for node in all_ids}
+        synchronized[coordinator] = True
+
+        # Synchronized nodes apply the new retransmission parameter
+        # immediately after the control slot.
+        for node_id, node in nodes.items():
+            if synchronized[node_id]:
+                node.apply_n_tx(schedule.n_tx)
+
+        radio_on_ms: Dict[int, float] = {
+            node: control_flood.radio_on_ms.get(node, self.slot_ms) for node in all_ids
+        }
+        packets_expected: Dict[int, int] = {node: 0 for node in all_ids}
+        packets_received: Dict[int, int] = {node: 0 for node in all_ids}
+
+        # --- Data slots. -------------------------------------------------
+        slot_results: List[SlotResult] = []
+        for slot_index, source in enumerate(schedule.slots):
+            channel = self.hopper.data_channel(slot_index)
+            slot_start = self._slot_start_ms(start_ms, slot_index + 1)
+            slot_destinations = (
+                [d for d in destinations if d != source]
+                if destinations is not None
+                else [n for n in all_ids if n != source]
+            )
+
+            if not synchronized.get(source, False):
+                # The source missed the schedule: the slot stays empty.
+                # Synchronized nodes still listen for the announced packet
+                # and unsynchronized ones listen trying to re-sync.
+                for node in all_ids:
+                    radio_on_ms[node] += self.slot_ms
+                for node in slot_destinations:
+                    packets_expected[node] += 1
+                empty = FloodResult(
+                    initiator=source,
+                    received={node: False for node in all_ids},
+                    reception_phase={node: None for node in all_ids},
+                    transmissions={node: 0 for node in all_ids},
+                    radio_on_ms={node: self.slot_ms for node in all_ids},
+                    slot_duration_ms=self.slot_ms,
+                    channel=channel,
+                )
+                slot_results.append(
+                    SlotResult(slot_index=slot_index, source=source, channel=channel, flood=empty)
+                )
+                continue
+
+            participants = [n for n in all_ids if synchronized[n]]
+            per_node_n_tx = {n: nodes[n].effective_n_tx for n in participants}
+            flood = self._flood.run(
+                initiator=source,
+                n_tx=per_node_n_tx,
+                packet_bytes=DataPacket(source=source).total_bytes,
+                channel=channel,
+                start_ms=slot_start,
+                interference=interference,
+                participants=participants,
+                max_slot_ms=self.slot_ms,
+            )
+
+            feedback = nodes[source].statistics.to_feedback() if collect_feedback else None
+            for node in all_ids:
+                if node in flood.radio_on_ms:
+                    radio_on_ms[node] += flood.radio_on_ms[node]
+                else:
+                    # Unsynchronized nodes keep listening the whole slot.
+                    radio_on_ms[node] += self.slot_ms
+            for node in slot_destinations:
+                packets_expected[node] += 1
+                if flood.received.get(node, False):
+                    packets_received[node] += 1
+            if collect_feedback and feedback is not None:
+                for node in all_ids:
+                    if flood.received.get(node, False):
+                        nodes[node].observe_feedback(source, feedback)
+
+            slot_results.append(
+                SlotResult(
+                    slot_index=slot_index,
+                    source=source,
+                    channel=channel,
+                    flood=flood,
+                    feedback=feedback,
+                )
+            )
+
+        # Update the per-node statistics used for the feedback headers of
+        # the *next* round: reliability reflects this round's outcome,
+        # radio-on time is a rolling average over the last few rounds
+        # ("averaged over the last floods" in the paper).
+        num_slots = len(schedule.slots) + 1
+        for node_id, node in nodes.items():
+            node.statistics.packets_expected = packets_expected[node_id]
+            node.statistics.packets_received = packets_received[node_id]
+            node.statistics.radio_on.record_slot(radio_on_ms[node_id] / num_slots)
+
+        self.hopper.advance_round(len(schedule.slots))
+
+        return RoundResult(
+            round_index=schedule.round_index,
+            schedule=schedule,
+            start_ms=start_ms,
+            control_flood=control_flood,
+            slots=slot_results,
+            synchronized=synchronized,
+            radio_on_ms=radio_on_ms,
+            packets_expected=packets_expected,
+            packets_received=packets_received,
+        )

@@ -1,0 +1,138 @@
+"""Node state.
+
+Each node keeps its role, current retransmission parameter, its local
+statistics (reliability and radio-on time, fed back to the coordinator
+through the two-byte Dimmer header), and its view of the rest of the
+network as assembled from the feedback headers it overheard.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.energy import RadioOnTracker
+from repro.net.packet import DimmerFeedbackHeader
+from repro.net.topology import Position
+
+
+class NodeRole(enum.Enum):
+    """Role of a node within the Dimmer network."""
+
+    COORDINATOR = "coordinator"
+    FORWARDER = "forwarder"
+    PASSIVE = "passive"
+
+
+@dataclass
+class NodeStatistics:
+    """Local performance statistics a node measures about itself.
+
+    ``packets_expected`` / ``packets_received`` track the schedule-based
+    reliability estimate: a packet announced in the schedule but not
+    received during its slot is counted as lost.
+    """
+
+    packets_expected: int = 0
+    packets_received: int = 0
+    radio_on: RadioOnTracker = field(default_factory=RadioOnTracker)
+
+    @property
+    def reliability(self) -> float:
+        """Packet reception rate (received / expected); 1.0 when idle."""
+        if self.packets_expected == 0:
+            return 1.0
+        return self.packets_received / self.packets_expected
+
+    def record_slot(self, received: bool, radio_on_ms: float, expected: bool = True) -> None:
+        """Record the outcome of one data slot."""
+        if expected:
+            self.packets_expected += 1
+            if received:
+                self.packets_received += 1
+        self.radio_on.record_slot(radio_on_ms)
+
+    def reset_window(self) -> None:
+        """Reset the per-round counters (called at every round boundary)."""
+        self.packets_expected = 0
+        self.packets_received = 0
+        self.radio_on.reset_recent()
+
+    def to_feedback(self) -> DimmerFeedbackHeader:
+        """Quantize the local statistics into the two-byte Dimmer header."""
+        return DimmerFeedbackHeader(
+            radio_on_ms=self.radio_on.recent_average_ms,
+            reliability=self.reliability,
+        )
+
+
+@dataclass
+class Node:
+    """A TelosB-class node participating in the flood.
+
+    Parameters
+    ----------
+    node_id:
+        Unique identifier of the node.
+    position:
+        Physical position in metres (used by the link and interference
+        models).
+    role:
+        Current role: coordinator, active forwarder, or passive receiver
+        (a passive receiver turns its radio off after the first
+        successful reception of a flood and never retransmits).
+    n_tx:
+        Number of retransmissions the node performs within a Glossy
+        flood; 0 means receive-only.
+    """
+
+    node_id: int
+    position: Position
+    role: NodeRole = NodeRole.FORWARDER
+    n_tx: int = 3
+    synchronized: bool = True
+    statistics: NodeStatistics = field(default_factory=NodeStatistics)
+    #: Most recent feedback header overheard from every other node.
+    neighbor_feedback: Dict[int, DimmerFeedbackHeader] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_tx < 0:
+            raise ValueError("n_tx must be non-negative")
+
+    @property
+    def is_coordinator(self) -> bool:
+        """Whether the node is the LWB coordinator (host)."""
+        return self.role is NodeRole.COORDINATOR
+
+    @property
+    def is_passive(self) -> bool:
+        """Whether the node currently acts as a passive receiver."""
+        return self.role is NodeRole.PASSIVE
+
+    @property
+    def effective_n_tx(self) -> int:
+        """Retransmissions the node actually performs given its role."""
+        if self.is_passive:
+            return 0
+        return self.n_tx
+
+    def apply_n_tx(self, n_tx: int) -> None:
+        """Apply a new global retransmission parameter (from a schedule)."""
+        if n_tx < 0:
+            raise ValueError("n_tx must be non-negative")
+        self.n_tx = n_tx
+
+    def set_role(self, role: NodeRole) -> None:
+        """Update the node's role (forwarder selection decisions)."""
+        if self.role is NodeRole.COORDINATOR and role is not NodeRole.COORDINATOR:
+            raise ValueError("the coordinator cannot be demoted")
+        self.role = role
+
+    def observe_feedback(self, source: int, feedback: DimmerFeedbackHeader) -> None:
+        """Record the feedback header overheard from ``source``."""
+        self.neighbor_feedback[source] = feedback
+
+    def reset_round(self) -> None:
+        """Reset per-round statistics at the start of a new round."""
+        self.statistics.reset_window()

@@ -1,0 +1,72 @@
+"""Radio model.
+
+Models the CC2420-class radio of the TelosB platform used in the paper:
+state machine (off / listening / transmitting), current draws, and the
+slot-level timing constants that Glossy operates under.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.packet import airtime_ms
+
+
+class RadioState(enum.Enum):
+    """Radio operating state."""
+
+    OFF = "off"
+    LISTEN = "listen"
+    TRANSMIT = "transmit"
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Electrical and timing characteristics of a CC2420-class radio.
+
+    The defaults reflect the TelosB datasheet values at 0 dBm output
+    power with a 3 V supply; they only matter for converting radio-on
+    time into energy (Fig. 7b) and never influence protocol behaviour.
+    """
+
+    rx_current_ma: float = 19.7
+    tx_current_ma: float = 17.4
+    off_current_ma: float = 0.001
+    supply_voltage_v: float = 3.0
+    turnaround_us: float = 192.0
+    max_slot_ms: float = 20.0
+
+    def power_mw(self, state: RadioState) -> float:
+        """Power draw in milliwatts for a radio state."""
+        if state is RadioState.LISTEN:
+            return self.rx_current_ma * self.supply_voltage_v
+        if state is RadioState.TRANSMIT:
+            return self.tx_current_ma * self.supply_voltage_v
+        return self.off_current_ma * self.supply_voltage_v
+
+    def energy_mj(self, state: RadioState, duration_ms: float) -> float:
+        """Energy in millijoules spent in ``state`` for ``duration_ms``."""
+        if duration_ms < 0:
+            raise ValueError("duration_ms must be non-negative")
+        return self.power_mw(state) * duration_ms / 1000.0
+
+    def radio_on_energy_mj(self, radio_on_ms: float, tx_fraction: float = 0.3) -> float:
+        """Energy for a radio-on period split between listening and transmitting.
+
+        Glossy alternates RX and TX; ``tx_fraction`` approximates the
+        share of the active time spent transmitting.
+        """
+        if not 0.0 <= tx_fraction <= 1.0:
+            raise ValueError("tx_fraction must be in [0, 1]")
+        tx_ms = radio_on_ms * tx_fraction
+        rx_ms = radio_on_ms - tx_ms
+        return self.energy_mj(RadioState.TRANSMIT, tx_ms) + self.energy_mj(RadioState.LISTEN, rx_ms)
+
+    def phase_duration_ms(self, packet_bytes: int) -> float:
+        """Duration of one Glossy TX/RX phase for a packet of ``packet_bytes``.
+
+        A phase is one on-air packet plus the RX/TX turnaround and the
+        software processing gap; Glossy alternates phases back to back.
+        """
+        return airtime_ms(packet_bytes) + self.turnaround_us / 1000.0 + 0.15

@@ -1,0 +1,252 @@
+"""Network simulator.
+
+:class:`NetworkSimulator` is the stateful substrate every protocol in
+this repository (Dimmer, static LWB, the PID baseline, Crystal) drives:
+it owns the topology, the per-node state, the link and radio models,
+the channel hopper, the interference environment and the global clock,
+and executes LWB rounds on request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.net.channels import ChannelHopper
+from repro.net.energy import EnergyModel, RadioOnTracker
+from repro.net.interference import InterferenceSource, NoInterference
+from repro.net.link import LinkModel
+from repro.net.lwb import LWBRoundEngine, RoundResult, Schedule
+from repro.net.node import Node, NodeRole
+from repro.net.radio import RadioModel
+from repro.net.topology import Topology
+
+
+@dataclass
+class SimulatorConfig:
+    """Static configuration of a simulation run.
+
+    The defaults reproduce the parameters listed in §V-A of the paper:
+    4-second rounds, 20 ms slots, 30-byte packets, 0 dBm transmission
+    power, broadcast traffic from every device.
+    """
+
+    round_period_s: float = 4.0
+    slot_ms: float = 20.0
+    slot_gap_ms: float = 2.0
+    packet_bytes: int = 30
+    tx_power_dbm: float = 0.0
+    default_n_tx: int = 3
+    channel_hopping: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.round_period_s <= 0:
+            raise ValueError("round_period_s must be positive")
+        if self.slot_ms <= 0:
+            raise ValueError("slot_ms must be positive")
+        if self.default_n_tx < 0:
+            raise ValueError("default_n_tx must be non-negative")
+
+    @property
+    def round_period_ms(self) -> float:
+        """Round period in milliseconds."""
+        return self.round_period_s * 1000.0
+
+
+class NetworkSimulator:
+    """Simulated low-power wireless deployment running LWB rounds.
+
+    Parameters
+    ----------
+    topology:
+        Deployment layout.
+    config:
+        Timing and radio parameters.
+    interference:
+        Interference environment (defaults to none); can be swapped at
+        any time through :meth:`set_interference`.
+    sources:
+        Nodes generating traffic.  Defaults to every node (the paper's
+        18-node broadcast scenario); the D-Cube scenario uses a subset.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[SimulatorConfig] = None,
+        interference: Optional[InterferenceSource] = None,
+        sources: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config if config is not None else SimulatorConfig()
+        self.interference = interference if interference is not None else NoInterference()
+        self.sources: List[int] = (
+            list(sources) if sources is not None else list(topology.node_ids)
+        )
+        for source in self.sources:
+            if source not in topology.positions:
+                raise ValueError(f"source {source} is not part of the topology")
+
+        self.rng = np.random.default_rng(self.config.seed)
+        self.radio = RadioModel()
+        self.link_model = LinkModel(
+            topology,
+            tx_power_dbm=self.config.tx_power_dbm,
+            seed=None if self.config.seed is None else self.config.seed + 1,
+        )
+        self.hopper = ChannelHopper(enabled=self.config.channel_hopping)
+        self.engine = LWBRoundEngine(
+            topology,
+            link_model=self.link_model,
+            radio=self.radio,
+            hopper=self.hopper,
+            slot_ms=self.config.slot_ms,
+            slot_gap_ms=self.config.slot_gap_ms,
+            packet_bytes=self.config.packet_bytes,
+            rng=self.rng,
+        )
+        self.energy_model = EnergyModel(self.radio)
+
+        self.nodes: Dict[int, Node] = {}
+        for node_id in topology.node_ids:
+            role = NodeRole.COORDINATOR if node_id == topology.coordinator else NodeRole.FORWARDER
+            self.nodes[node_id] = Node(
+                node_id=node_id,
+                position=topology.positions[node_id],
+                role=role,
+                n_tx=self.config.default_n_tx,
+            )
+
+        self.current_round: int = 0
+        self.time_ms: float = 0.0
+        self.round_history: List[RoundResult] = []
+        #: Lifetime radio-on accounting, for energy reporting.
+        self.radio_on_totals: Dict[int, RadioOnTracker] = {
+            node_id: RadioOnTracker() for node_id in topology.node_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Environment control
+    # ------------------------------------------------------------------
+    def set_interference(self, interference: InterferenceSource) -> None:
+        """Replace the interference environment (scenario scripting)."""
+        self.interference = interference
+
+    def set_sources(self, sources: Sequence[int]) -> None:
+        """Replace the set of traffic sources."""
+        for source in sources:
+            if source not in self.topology.positions:
+                raise ValueError(f"source {source} is not part of the topology")
+        self.sources = list(sources)
+
+    def set_role(self, node_id: int, role: NodeRole) -> None:
+        """Set the role of a node (used by the forwarder selection)."""
+        self.nodes[node_id].set_role(role)
+
+    def active_forwarders(self) -> List[int]:
+        """Nodes currently acting as forwarders (coordinator included)."""
+        return sorted(
+            node_id
+            for node_id, node in self.nodes.items()
+            if node.role in (NodeRole.FORWARDER, NodeRole.COORDINATOR)
+        )
+
+    def passive_receivers(self) -> List[int]:
+        """Nodes currently acting as passive receivers."""
+        return sorted(node_id for node_id, node in self.nodes.items() if node.is_passive)
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def build_schedule(
+        self,
+        n_tx: int,
+        forwarder_selection: bool = False,
+        learning_node: Optional[int] = None,
+        sources: Optional[Sequence[int]] = None,
+    ) -> Schedule:
+        """Build the schedule of the next round.
+
+        The coordinator assigns one data slot to every traffic source,
+        in node-id order (the schedule is what makes LWB contention-free).
+        """
+        slot_sources = list(sources) if sources is not None else list(self.sources)
+        return Schedule(
+            round_index=self.current_round,
+            n_tx=n_tx,
+            slots=tuple(slot_sources),
+            forwarder_selection=forwarder_selection,
+            learning_node=learning_node,
+        )
+
+    def run_round(
+        self,
+        schedule: Optional[Schedule] = None,
+        n_tx: Optional[int] = None,
+        collect_feedback: bool = True,
+        destinations: Optional[Sequence[int]] = None,
+    ) -> RoundResult:
+        """Execute the next round and advance the global clock.
+
+        Either pass a fully-built ``schedule`` or just the global
+        ``n_tx`` to apply (a default schedule over all sources is built).
+        """
+        if schedule is None:
+            schedule = self.build_schedule(
+                n_tx=self.config.default_n_tx if n_tx is None else n_tx
+            )
+        result = self.engine.run_round(
+            nodes=self.nodes,
+            schedule=schedule,
+            start_ms=self.time_ms,
+            interference=self.interference,
+            collect_feedback=collect_feedback,
+            destinations=destinations,
+        )
+        num_slots = len(schedule.slots) + 1
+        for node_id, total in result.radio_on_ms.items():
+            # Account each slot of the round in the lifetime tracker so that
+            # "radio-on time per slot" statistics include every slot.
+            per_slot = total / num_slots
+            for _ in range(num_slots):
+                self.radio_on_totals[node_id].record_slot(per_slot)
+
+        self.round_history.append(result)
+        self.current_round += 1
+        self.time_ms += self.config.round_period_ms
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_energy_j(self) -> float:
+        """Total radio energy spent by the whole network so far (joules)."""
+        return self.energy_model.network_energy_j(self.radio_on_totals)
+
+    def average_radio_on_ms(self) -> float:
+        """Per-slot radio-on time averaged over all nodes and all slots."""
+        return self.energy_model.network_average_radio_on_ms(self.radio_on_totals)
+
+    def average_reliability(self, last_n_rounds: Optional[int] = None) -> float:
+        """Reliability averaged over the (last ``n``) executed rounds."""
+        history = self.round_history
+        if last_n_rounds is not None:
+            history = history[-last_n_rounds:]
+        if not history:
+            return 1.0
+        expected = sum(sum(r.packets_expected.values()) for r in history)
+        received = sum(sum(r.packets_received.values()) for r in history)
+        if expected == 0:
+            return 1.0
+        return received / expected
+
+    def reset_history(self) -> None:
+        """Forget accumulated history and energy (start of an experiment)."""
+        self.round_history.clear()
+        for tracker in self.radio_on_totals.values():
+            tracker.total_ms = 0.0
+            tracker.slot_count = 0
+            tracker.reset_recent()

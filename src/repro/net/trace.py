@@ -1,0 +1,153 @@
+"""Trace records for offline DQN training.
+
+The paper trains its DQN on traces collected over multiple days on the
+physical testbed: for each decision point the round's aggregated
+feedback (reliability and radio-on time of the worst nodes), the
+retransmission parameter in force, and the outcome of both the
+increase and decrease alternative executed back to back under the same
+controlled jamming.
+
+Since the physical testbed is replaced by :class:`NetworkSimulator`,
+traces are recorded from scripted simulation episodes
+(:class:`repro.rl.trace_env.TraceRecorder`) and stored/replayed through
+the structures in this module.  Traces serialize to plain JSON so they
+can be shipped with the repository or regenerated at will.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One decision point recorded from a (simulated) deployment.
+
+    Attributes
+    ----------
+    round_index:
+        Round counter at which the record was taken.
+    n_tx:
+        Retransmission parameter in force during the round.
+    reliabilities:
+        Per-node reliability observed during the round (node id -> PRR).
+    radio_on_ms:
+        Per-node per-slot radio-on time observed during the round.
+    interference_ratio:
+        Ground-truth interference duty cycle active during the round
+        (only used for analysis and sanity checks, never fed to the agent).
+    had_losses:
+        Whether at least one scheduled packet was missed network-wide.
+    """
+
+    round_index: int
+    n_tx: int
+    reliabilities: Dict[int, float]
+    radio_on_ms: Dict[int, float]
+    interference_ratio: float = 0.0
+    had_losses: bool = False
+
+    def worst_nodes(self, k: int) -> List[int]:
+        """Return the ``k`` node ids with lowest reliability (ties by id)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ranked = sorted(self.reliabilities.items(), key=lambda item: (item[1], item[0]))
+        return [node for node, _ in ranked[:k]]
+
+
+@dataclass
+class TraceSet:
+    """An ordered collection of trace records plus episode boundaries."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+    #: Indices into ``records`` where a new episode starts.
+    episode_starts: List[int] = field(default_factory=list)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    def start_episode(self) -> None:
+        """Mark the next appended record as the start of a new episode."""
+        self.episode_starts.append(len(self.records))
+
+    def append(self, record: TraceRecord) -> None:
+        """Append a record to the current episode."""
+        if not self.episode_starts:
+            self.episode_starts.append(0)
+        self.records.append(record)
+
+    def episodes(self) -> List[List[TraceRecord]]:
+        """Split the records into per-episode lists."""
+        if not self.records:
+            return []
+        starts = sorted(set(self.episode_starts)) or [0]
+        episodes: List[List[TraceRecord]] = []
+        for i, start in enumerate(starts):
+            end = starts[i + 1] if i + 1 < len(starts) else len(self.records)
+            if start < end:
+                episodes.append(self.records[start:end])
+        return episodes
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Serialize the trace set to plain Python structures."""
+        return {
+            "metadata": dict(self.metadata),
+            "episode_starts": list(self.episode_starts),
+            "records": [
+                {
+                    "round_index": r.round_index,
+                    "n_tx": r.n_tx,
+                    "reliabilities": {str(k): v for k, v in r.reliabilities.items()},
+                    "radio_on_ms": {str(k): v for k, v in r.radio_on_ms.items()},
+                    "interference_ratio": r.interference_ratio,
+                    "had_losses": r.had_losses,
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TraceSet":
+        """Rebuild a trace set from :meth:`to_dict` output."""
+        records = [
+            TraceRecord(
+                round_index=entry["round_index"],
+                n_tx=entry["n_tx"],
+                reliabilities={int(k): float(v) for k, v in entry["reliabilities"].items()},
+                radio_on_ms={int(k): float(v) for k, v in entry["radio_on_ms"].items()},
+                interference_ratio=float(entry.get("interference_ratio", 0.0)),
+                had_losses=bool(entry.get("had_losses", False)),
+            )
+            for entry in data.get("records", [])
+        ]
+        return cls(
+            records=records,
+            episode_starts=list(data.get("episode_starts", [0] if records else [])),
+            metadata={str(k): str(v) for k, v in data.get("metadata", {}).items()},
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the trace set to a JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+
+    @classmethod
+    def load(cls, path: Path) -> "TraceSet":
+        """Read a trace set from a JSON file."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

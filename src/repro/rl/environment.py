@@ -1,0 +1,76 @@
+"""RL environment protocol.
+
+A tiny Gym-like interface shared by the simulation-backed training
+environment and the trace-replay environment.  Dimmer's central
+adaptivity control uses a three-action space: decrease, maintain or
+increase the global retransmission parameter ``N_TX``.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+class Action(enum.IntEnum):
+    """Actions of the central adaptivity control (§IV-B)."""
+
+    DECREASE = 0
+    MAINTAIN = 1
+    INCREASE = 2
+
+    def delta(self) -> int:
+        """Change applied to ``N_TX`` by this action."""
+        if self is Action.DECREASE:
+            return -1
+        if self is Action.INCREASE:
+            return 1
+        return 0
+
+
+#: Number of actions of the central adaptivity control.
+NUM_ACTIONS = len(Action)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one environment step."""
+
+    state: np.ndarray
+    reward: float
+    done: bool
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class Environment(abc.ABC):
+    """Minimal episodic environment interface."""
+
+    @property
+    @abc.abstractmethod
+    def state_size(self) -> int:
+        """Dimensionality of the state vectors."""
+
+    @property
+    def num_actions(self) -> int:
+        """Number of discrete actions (3 for Dimmer)."""
+        return NUM_ACTIONS
+
+    @abc.abstractmethod
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return its initial state."""
+
+    @abc.abstractmethod
+    def step(self, action: int) -> StepResult:
+        """Apply ``action`` and return the resulting transition."""
+
+
+def apply_action(n_tx: int, action: int, n_max: int, n_min: int = 0) -> int:
+    """Apply a Decrease/Maintain/Increase action to ``n_tx``, clamping to range."""
+    if n_max < n_min:
+        raise ValueError("n_max must be >= n_min")
+    new_value = n_tx + Action(action).delta()
+    return int(min(max(new_value, n_min), n_max))

@@ -1,0 +1,116 @@
+"""Exp3 adversarial multi-armed bandit.
+
+Dimmer's distributed forwarder selection is a two-armed bandit problem
+per node (arm 0: act as active forwarder, arm 1: act as passive
+receiver) in an *adversarial* environment: decisions of distant nodes
+and changing interference affect the reward a node observes for its own
+arm.  Exp3 (Auer et al., 2002) handles this setting by keeping an
+exponential weight per arm and mixing exploitation of the weights with
+a uniform exploration floor (Eq. 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Exp3:
+    """Exp3 bandit over ``num_arms`` arms.
+
+    Parameters
+    ----------
+    num_arms:
+        Number of arms (2 in Dimmer's forwarder selection).
+    gamma:
+        Exploration factor in (0, 1]; the probability of every arm is
+        mixed with a ``gamma / K`` uniform floor.
+    initial_weights:
+        Optional starting weights; defaults to all-ones.
+    max_weight:
+        Weights are clipped at this value to avoid numeric overflow over
+        very long runs (the weight update is multiplicative).
+    seed:
+        Seed of the arm-sampling generator.
+    """
+
+    num_arms: int = 2
+    gamma: float = 0.1
+    initial_weights: Optional[Sequence[float]] = None
+    max_weight: float = 1e6
+    seed: Optional[int] = None
+    weights: np.ndarray = field(init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    total_draws: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_arms < 2:
+            raise ValueError("Exp3 needs at least two arms")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        if self.initial_weights is not None:
+            weights = np.asarray(self.initial_weights, dtype=float)
+            if weights.shape != (self.num_arms,):
+                raise ValueError("initial_weights must have one entry per arm")
+            if (weights <= 0).any():
+                raise ValueError("weights must be strictly positive")
+            self.weights = weights.copy()
+        else:
+            self.weights = np.ones(self.num_arms)
+        self._initial = self.weights.copy()
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    # Probabilities and arm selection
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Arm-selection probabilities per Eq. 2 of the paper."""
+        normalized = self.weights / self.weights.sum()
+        return (1.0 - self.gamma) * normalized + self.gamma / self.num_arms
+
+    def select_arm(self) -> int:
+        """Draw an arm according to the current probabilities."""
+        probabilities = self.probabilities()
+        arm = int(self._rng.choice(self.num_arms, p=probabilities))
+        self.total_draws += 1
+        return arm
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, arm: int, reward: float) -> None:
+        """Update the weight of ``arm`` with the observed ``reward``.
+
+        Rewards must lie in [0, 1]; the update is the standard
+        importance-weighted exponential update
+        ``w_i *= exp(gamma * r / (K * p_i))``.
+        """
+        if not 0 <= arm < self.num_arms:
+            raise ValueError(f"invalid arm: {arm}")
+        if not 0.0 <= reward <= 1.0:
+            raise ValueError("reward must be in [0, 1]")
+        probability = self.probabilities()[arm]
+        growth = np.exp(self.gamma * reward / (self.num_arms * probability))
+        self.weights[arm] = min(self.weights[arm] * growth, self.max_weight)
+
+    def reset_arm(self, arm: int) -> None:
+        """Reset one arm's weight to its initial value.
+
+        Dimmer uses this to punish network-breaking configurations: when
+        acting passive broke the flood, the passive arm is knocked back
+        to its starting weight so the node is unlikely to retry it soon.
+        """
+        if not 0 <= arm < self.num_arms:
+            raise ValueError(f"invalid arm: {arm}")
+        self.weights[arm] = self._initial[arm]
+
+    def reset(self) -> None:
+        """Reset every arm to its initial weight."""
+        self.weights = self._initial.copy()
+
+    def best_arm(self) -> int:
+        """Arm with the highest weight (ties broken towards the lower index)."""
+        return int(np.argmax(self.weights))

@@ -1,0 +1,292 @@
+"""Fully-connected Q-network.
+
+The paper's DQN is deliberately tiny — one fully-connected hidden layer
+of 30 ReLU neurons plus a 3-neuron linear output — so that it fits the
+flash and RAM of a TelosB-class device after quantization.  This module
+implements that network (and arbitrary other layer layouts) in plain
+numpy, with enough training machinery (mini-batch gradients, SGD and
+Adam, Huber or MSE loss) to run the offline DQN training of §IV-B.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _AdamState:
+    """Per-parameter Adam moment estimates."""
+
+    m: np.ndarray
+    v: np.ndarray
+
+
+class QNetwork:
+    """A small multi-layer perceptron used as a Q-function approximator.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of every layer, input and output included.  Dimmer's
+        network is ``(31, 30, 3)``.
+    seed:
+        Seed for the weight initialization.
+    hidden_activation:
+        Only ``"relu"`` is supported (what the paper uses); the output
+        layer is always linear, as usual for Q-value regression.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int] = (31, 30, 3),
+        seed: Optional[int] = None,
+        hidden_activation: str = "relu",
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("at least an input and an output layer are required")
+        if any(size <= 0 for size in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        if hidden_activation != "relu":
+            raise ValueError("only the 'relu' hidden activation is supported")
+        self.layer_sizes: Tuple[int, ...] = tuple(int(s) for s in layer_sizes)
+        self.hidden_activation = hidden_activation
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            # He initialization suits ReLU hidden layers.
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam_w: Optional[List[_AdamState]] = None
+        self._adam_b: Optional[List[_AdamState]] = None
+        self._adam_t = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def input_size(self) -> int:
+        """Number of inputs the network expects."""
+        return self.layer_sizes[0]
+
+    @property
+    def output_size(self) -> int:
+        """Number of Q-values the network produces."""
+        return self.layer_sizes[-1]
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable parameters (weights plus biases)."""
+        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute Q-values for a single state or a batch of states."""
+        x = np.asarray(inputs, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[np.newaxis, :]
+        if x.shape[1] != self.input_size:
+            raise ValueError(
+                f"expected input of size {self.input_size}, got {x.shape[1]}"
+            )
+        activations = x
+        last = len(self.weights) - 1
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = activations @ w + b
+            activations = z if index == last else np.maximum(z, 0.0)
+        return activations[0] if single else activations
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def predict_action(self, state: np.ndarray) -> int:
+        """Greedy action for a single state."""
+        return int(np.argmax(self.forward(state)))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _forward_cached(self, x: np.ndarray) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Forward pass keeping pre- and post-activation values per layer."""
+        pre: List[np.ndarray] = []
+        post: List[np.ndarray] = [x]
+        last = len(self.weights) - 1
+        activations = x
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = activations @ w + b
+            pre.append(z)
+            activations = z if index == last else np.maximum(z, 0.0)
+            post.append(activations)
+        return pre, post
+
+    def gradients(
+        self,
+        states: np.ndarray,
+        targets: np.ndarray,
+        actions: Optional[np.ndarray] = None,
+        loss: str = "huber",
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], float]:
+        """Compute loss gradients for a mini-batch.
+
+        When ``actions`` is given, only the Q-value of the taken action
+        contributes to the loss (the usual DQN regression); ``targets``
+        is then a vector of scalar TD targets.  Without ``actions``,
+        ``targets`` must have the full output shape.
+        """
+        x = np.asarray(states, dtype=float)
+        if x.ndim == 1:
+            x = x[np.newaxis, :]
+        batch = x.shape[0]
+        pre, post = self._forward_cached(x)
+        output = post[-1]
+
+        if actions is not None:
+            actions = np.asarray(actions, dtype=int)
+            scalar_targets = np.asarray(targets, dtype=float).reshape(batch)
+            full_targets = output.copy()
+            full_targets[np.arange(batch), actions] = scalar_targets
+        else:
+            full_targets = np.asarray(targets, dtype=float).reshape(output.shape)
+
+        error = output - full_targets
+        if loss == "mse":
+            delta = error
+            loss_value = float(np.mean(error**2))
+        elif loss == "huber":
+            clip = 1.0
+            delta = np.clip(error, -clip, clip)
+            quadratic = np.minimum(np.abs(error), clip)
+            linear = np.abs(error) - quadratic
+            loss_value = float(np.mean(0.5 * quadratic**2 + clip * linear))
+        else:
+            raise ValueError(f"unsupported loss: {loss}")
+
+        grad_w: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        grad_b: List[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        upstream = delta / batch
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grad_w[layer] = post[layer].T @ upstream
+            grad_b[layer] = upstream.sum(axis=0)
+            if layer > 0:
+                upstream = upstream @ self.weights[layer].T
+                upstream = upstream * (pre[layer - 1] > 0.0)
+        return grad_w, grad_b, loss_value
+
+    def train_step(
+        self,
+        states: np.ndarray,
+        targets: np.ndarray,
+        actions: Optional[np.ndarray] = None,
+        learning_rate: float = 1e-3,
+        optimizer: str = "adam",
+        loss: str = "huber",
+    ) -> float:
+        """Run one gradient step on a mini-batch and return the loss."""
+        grad_w, grad_b, loss_value = self.gradients(states, targets, actions, loss=loss)
+        if optimizer == "sgd":
+            for layer in range(len(self.weights)):
+                self.weights[layer] -= learning_rate * grad_w[layer]
+                self.biases[layer] -= learning_rate * grad_b[layer]
+        elif optimizer == "adam":
+            self._adam_update(grad_w, grad_b, learning_rate)
+        else:
+            raise ValueError(f"unsupported optimizer: {optimizer}")
+        return loss_value
+
+    def _adam_update(
+        self,
+        grad_w: List[np.ndarray],
+        grad_b: List[np.ndarray],
+        learning_rate: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if self._adam_w is None or self._adam_b is None:
+            self._adam_w = [_AdamState(np.zeros_like(w), np.zeros_like(w)) for w in self.weights]
+            self._adam_b = [_AdamState(np.zeros_like(b), np.zeros_like(b)) for b in self.biases]
+        self._adam_t += 1
+        t = self._adam_t
+        for layer in range(len(self.weights)):
+            for params, grads, state in (
+                (self.weights[layer], grad_w[layer], self._adam_w[layer]),
+                (self.biases[layer], grad_b[layer], self._adam_b[layer]),
+            ):
+                state.m = beta1 * state.m + (1 - beta1) * grads
+                state.v = beta2 * state.v + (1 - beta2) * grads**2
+                m_hat = state.m / (1 - beta1**t)
+                v_hat = state.v / (1 - beta2**t)
+                params -= learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # ------------------------------------------------------------------
+    # Weight management
+    # ------------------------------------------------------------------
+    def get_weights(self) -> Dict[str, List[np.ndarray]]:
+        """Return copies of all weights and biases."""
+        return {
+            "weights": [w.copy() for w in self.weights],
+            "biases": [b.copy() for b in self.biases],
+        }
+
+    def set_weights(self, parameters: Dict[str, List[np.ndarray]]) -> None:
+        """Load weights and biases (shapes must match)."""
+        weights = parameters["weights"]
+        biases = parameters["biases"]
+        if len(weights) != len(self.weights) or len(biases) != len(self.biases):
+            raise ValueError("parameter structure does not match the network")
+        for target, source in zip(self.weights, weights):
+            if target.shape != np.asarray(source).shape:
+                raise ValueError("weight shape mismatch")
+        self.weights = [np.array(w, dtype=float) for w in weights]
+        self.biases = [np.array(b, dtype=float) for b in biases]
+
+    def copy_from(self, other: "QNetwork") -> None:
+        """Copy another network's parameters into this one (target-network sync)."""
+        if other.layer_sizes != self.layer_sizes:
+            raise ValueError("cannot copy weights between different architectures")
+        self.set_weights(other.get_weights())
+
+    def clone(self) -> "QNetwork":
+        """Return a deep copy of this network."""
+        twin = QNetwork(self.layer_sizes, hidden_activation=self.hidden_activation)
+        twin.copy_from(self)
+        return twin
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        """Serialize the architecture and parameters to a JSON file."""
+        payload = {
+            "layer_sizes": list(self.layer_sizes),
+            "hidden_activation": self.hidden_activation,
+            "weights": [w.tolist() for w in self.weights],
+            "biases": [b.tolist() for b in self.biases],
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: Path) -> "QNetwork":
+        """Load a network previously written by :meth:`save`."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        network = cls(payload["layer_sizes"], hidden_activation=payload["hidden_activation"])
+        network.set_weights(
+            {
+                "weights": [np.array(w, dtype=float) for w in payload["weights"]],
+                "biases": [np.array(b, dtype=float) for b in payload["biases"]],
+            }
+        )
+        return network

@@ -1,0 +1,100 @@
+"""Experience replay buffer for DQN training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) transition."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool = False
+
+
+class ReplayBuffer:
+    """Fixed-capacity circular experience buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of transitions retained; older transitions are
+        overwritten once the buffer is full.
+    seed:
+        Seed of the sampling generator.
+    """
+
+    def __init__(self, capacity: int = 50_000, seed: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._storage: List[Transition] = []
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the buffer has reached its capacity."""
+        return len(self._storage) >= self.capacity
+
+    def add(self, transition: Transition) -> None:
+        """Insert a transition, evicting the oldest one if necessary."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> None:
+        """Convenience wrapper building and inserting a :class:`Transition`."""
+        self.add(
+            Transition(
+                state=np.asarray(state, dtype=float),
+                action=int(action),
+                reward=float(reward),
+                next_state=np.asarray(next_state, dtype=float),
+                done=bool(done),
+            )
+        )
+
+    def sample(
+        self, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample a batch of transitions uniformly at random.
+
+        Returns arrays ``(states, actions, rewards, next_states, dones)``.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty buffer")
+        indices = self._rng.integers(0, len(self._storage), size=batch_size)
+        batch = [self._storage[i] for i in indices]
+        states = np.stack([t.state for t in batch])
+        actions = np.array([t.action for t in batch], dtype=int)
+        rewards = np.array([t.reward for t in batch], dtype=float)
+        next_states = np.stack([t.next_state for t in batch])
+        dones = np.array([t.done for t in batch], dtype=bool)
+        return states, actions, rewards, next_states, dones
+
+    def clear(self) -> None:
+        """Drop every stored transition."""
+        self._storage.clear()
+        self._cursor = 0

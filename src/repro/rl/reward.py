@@ -1,0 +1,53 @@
+"""Reward function of Dimmer's central adaptivity control (Eq. 3).
+
+At each decision step the agent receives::
+
+    r_t = 1 - C * N_TX / N_max    if the round had no losses
+    r_t = 0                       otherwise
+
+where ``C`` controls the efficiency/reliability trade-off (the paper
+uses C = 3/10: low values favour reliability, higher values favour
+energy savings) and ``N_max`` = 8 is the largest retransmission count a
+20 ms slot can accommodate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Parameters of the Eq. 3 reward."""
+
+    efficiency_weight: float = 0.3
+    n_max: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_max <= 0:
+            raise ValueError("n_max must be positive")
+        if self.efficiency_weight < 0:
+            raise ValueError("efficiency_weight must be non-negative")
+
+
+def compute_reward(
+    n_tx: int,
+    had_losses: bool,
+    config: RewardConfig = RewardConfig(),
+) -> float:
+    """Return the Eq. 3 reward for one decision step.
+
+    Parameters
+    ----------
+    n_tx:
+        Retransmission parameter in force during the evaluated round.
+    had_losses:
+        Whether at least one scheduled packet was missed network-wide.
+    config:
+        Reward parameters (C and N_max).
+    """
+    if n_tx < 0:
+        raise ValueError("n_tx must be non-negative")
+    if had_losses:
+        return 0.0
+    return 1.0 - config.efficiency_weight * n_tx / config.n_max

@@ -1,0 +1,508 @@
+"""Training environments for Dimmer's central adaptivity control.
+
+The paper trains its DQN *offline*, on traces collected from the
+physical testbed under controlled jamming: for every decision point the
+alternative retransmission parameters are executed back to back so that
+all actions experience (almost) identical wireless conditions.  The
+resource-constrained motes never train, they only run inference on the
+result.
+
+Here the physical testbed is replaced by the network simulator, which
+lets us go one step further: for every decision point we record the
+outcome of *every* retransmission parameter under the same interference
+conditions (one lock-stepped simulator per N_TX value).  Offline DQN
+training then replays these traces without touching the simulator,
+which keeps training fast and mirrors the paper's trace-based process.
+
+Two environments are provided:
+
+* :class:`SimulationEnvironment` — an online environment that drives a
+  live :class:`~repro.net.simulator.NetworkSimulator`; used for
+  evaluating trained agents (Fig. 4b episodes) and for sanity checks.
+* :class:`TraceEnvironment` — an offline environment replaying a
+  :class:`~repro.net.trace.TraceSet` recorded by :class:`TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.interference import (
+    AmbientInterference,
+    BurstJammer,
+    CompositeInterference,
+    InterferenceSource,
+    NoInterference,
+)
+from repro.net.lwb import RoundResult, build_observer_view
+from repro.net.simulator import NetworkSimulator, SimulatorConfig
+from repro.net.topology import Topology, kiel_testbed
+from repro.net.trace import TraceRecord, TraceSet
+from repro.rl.environment import Environment, StepResult, apply_action
+from repro.rl.features import FeatureConfig, FeatureEncoder
+from repro.rl.reward import RewardConfig, compute_reward
+
+#: An episode script: consecutive segments of (number of rounds,
+#: interference ratio).  Ratio 0.0 means no controlled jamming (only the
+#: ambient background, if enabled).
+EpisodeSpec = Sequence[Tuple[int, float]]
+
+#: Default library of training episodes: calm periods, light, mild and
+#: heavy jamming, and transitions between them.  Mirrors the "different
+#: times of day and frequencies" variety of the paper's trace collection.
+DEFAULT_TRAINING_EPISODES: Tuple[EpisodeSpec, ...] = (
+    ((14, 0.0),),
+    ((4, 0.0), (8, 0.10), (4, 0.0)),
+    ((4, 0.0), (8, 0.30), (4, 0.0)),
+    ((3, 0.05), (8, 0.20), (3, 0.05)),
+    ((8, 0.35), (6, 0.0)),
+    ((4, 0.0), (4, 0.15), (4, 0.30), (4, 0.05)),
+    ((5, 0.0), (5, 0.05), (5, 0.25), (5, 0.0)),
+    ((6, 0.15), (6, 0.0), (6, 0.15)),
+)
+
+
+def build_interference(
+    topology: Topology,
+    ratio: float,
+    ambient_rate: float = 0.02,
+    seed: int = 11,
+) -> InterferenceSource:
+    """Build the interference environment for a given jamming ratio.
+
+    ``ratio`` is the duty cycle of the controlled 802.15.4 jammers
+    placed at the topology's jammer positions; a small ambient component
+    models the uncontrolled office WiFi/Bluetooth background so that
+    very low ``N_TX`` values are not free of risk even when the jammers
+    are off (as on the real testbed during the day).
+    """
+    sources: List[InterferenceSource] = []
+    if ambient_rate > 0.0:
+        sources.append(AmbientInterference(rate=ambient_rate, seed=seed))
+    if ratio > 0.0:
+        jammer_positions = topology.jammers if topology.jammers else [
+            topology.positions[topology.coordinator]
+        ]
+        for index, position in enumerate(jammer_positions):
+            sources.append(
+                BurstJammer(
+                    position=position,
+                    interference_ratio=ratio,
+                    channels=None,
+                    phase_ms=7.0 * index,
+                )
+            )
+    if not sources:
+        return NoInterference()
+    return CompositeInterference(sources)
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """All recorded outcomes for one round, keyed by retransmission parameter."""
+
+    round_index: int
+    outcomes: Dict[int, TraceRecord]
+    interference_ratio: float = 0.0
+
+    def outcome(self, n_tx: int) -> TraceRecord:
+        """Outcome of the round when executed with ``n_tx`` retransmissions."""
+        if n_tx not in self.outcomes:
+            raise KeyError(f"no recorded outcome for N_TX={n_tx}")
+        return self.outcomes[n_tx]
+
+    @property
+    def available_n_tx(self) -> List[int]:
+        """Retransmission parameters recorded at this decision point."""
+        return sorted(self.outcomes)
+
+
+class SimulationEnvironment(Environment):
+    """Online environment driving a live network simulator.
+
+    Every step runs one full LWB round under the interference level of
+    the current episode segment, applies the Eq. 3 reward and encodes
+    the Table-I state.
+
+    Parameters
+    ----------
+    topology:
+        Deployment (defaults to the 18-node testbed used for training).
+    feature_config, reward_config:
+        State encoding and reward parameters.
+    episodes:
+        Library of episode scripts; ``reset`` cycles through it.
+    ambient_rate:
+        Background interference rate active in all segments.
+    initial_n_tx:
+        Retransmission parameter at the start of every episode (``None``
+        draws it uniformly at random).
+    seed:
+        Master seed; each episode re-seeds its simulator deterministically.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        feature_config: Optional[FeatureConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES,
+        ambient_rate: float = 0.02,
+        initial_n_tx: Optional[int] = 3,
+        round_period_s: float = 4.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.topology = topology if topology is not None else kiel_testbed()
+        self.feature_config = feature_config if feature_config is not None else FeatureConfig()
+        self.reward_config = reward_config if reward_config is not None else RewardConfig(
+            n_max=self.feature_config.n_max
+        )
+        if not episodes:
+            raise ValueError("at least one episode script is required")
+        self.episodes = tuple(tuple(spec) for spec in episodes)
+        self.ambient_rate = ambient_rate
+        self.initial_n_tx = initial_n_tx
+        self.round_period_s = round_period_s
+        self._rng = np.random.default_rng(seed)
+        self._episode_counter = 0
+        self._seed = seed if seed is not None else 0
+
+        self.encoder = FeatureEncoder(self.feature_config)
+        self.simulator: Optional[NetworkSimulator] = None
+        self.n_tx = initial_n_tx if initial_n_tx is not None else 3
+        self._segments: List[Tuple[int, float]] = []
+        self._segment_index = 0
+        self._rounds_left_in_segment = 0
+        self._steps = 0
+        self.last_reliability = 1.0
+        self.last_radio_on_ms = 0.0
+
+    @property
+    def state_size(self) -> int:
+        return self.feature_config.input_size
+
+    # ------------------------------------------------------------------
+    # Episode management
+    # ------------------------------------------------------------------
+    def _current_ratio(self) -> float:
+        if not self._segments:
+            return 0.0
+        return self._segments[min(self._segment_index, len(self._segments) - 1)][1]
+
+    def _advance_segment(self) -> None:
+        self._rounds_left_in_segment -= 1
+        while (
+            self._rounds_left_in_segment <= 0
+            and self._segment_index < len(self._segments) - 1
+        ):
+            self._segment_index += 1
+            self._rounds_left_in_segment = self._segments[self._segment_index][0]
+
+    def _apply_interference(self) -> None:
+        assert self.simulator is not None
+        ratio = self._current_ratio()
+        self.simulator.set_interference(
+            build_interference(
+                self.topology,
+                ratio,
+                ambient_rate=self.ambient_rate,
+                seed=self._seed + self._episode_counter,
+            )
+        )
+
+    def remaining_rounds(self) -> int:
+        """Number of rounds left in the current episode."""
+        if not self._segments:
+            return 0
+        remaining = self._rounds_left_in_segment
+        for index in range(self._segment_index + 1, len(self._segments)):
+            remaining += self._segments[index][0]
+        return remaining
+
+    def reset(self, episode: Optional[EpisodeSpec] = None) -> np.ndarray:
+        """Start a new episode (optionally with an explicit script)."""
+        spec = tuple(episode) if episode is not None else self.episodes[
+            self._episode_counter % len(self.episodes)
+        ]
+        self._episode_counter += 1
+        self._segments = [(int(rounds), float(ratio)) for rounds, ratio in spec]
+        if not self._segments:
+            raise ValueError("episode script must contain at least one segment")
+        self._segment_index = 0
+        self._rounds_left_in_segment = self._segments[0][0]
+        self._steps = 0
+
+        config = SimulatorConfig(
+            round_period_s=self.round_period_s,
+            channel_hopping=False,
+            default_n_tx=3,
+            seed=self._seed + 1000 + self._episode_counter,
+        )
+        self.simulator = NetworkSimulator(self.topology, config)
+        self._apply_interference()
+        self.encoder.reset_history()
+        if self.initial_n_tx is None:
+            self.n_tx = int(self._rng.integers(1, self.feature_config.n_max + 1))
+        else:
+            self.n_tx = self.initial_n_tx
+
+        result = self.simulator.run_round(n_tx=self.n_tx)
+        self.last_reliability = result.reliability
+        self.last_radio_on_ms = result.average_radio_on_ms
+        state = self._encode_result(result)
+        self._advance_segment()
+        return state
+
+    def _encode_result(self, result: RoundResult) -> np.ndarray:
+        """Encode a round outcome as the coordinator would see it.
+
+        The state is built from the coordinator's feedback-based view
+        (what the deployed DQN receives), not from the simulator's
+        ground truth.
+        """
+        view = build_observer_view(
+            result,
+            observer=self.topology.coordinator,
+            pessimistic_radio_on_ms=self.simulator.config.slot_ms,
+        )
+        return self.encoder.encode_round(
+            view["reliability"],
+            view["radio_on_ms"],
+            self.n_tx,
+            result.had_losses,
+            expected_nodes=list(view["reliability"]),
+        )
+
+    def step(self, action: int) -> StepResult:
+        """Apply an action, run one round and return the transition."""
+        if self.simulator is None:
+            raise RuntimeError("call reset() before step()")
+        self.n_tx = apply_action(self.n_tx, action, n_max=self.feature_config.n_max, n_min=0)
+        self._apply_interference()
+        result = self.simulator.run_round(n_tx=self.n_tx)
+        reward = compute_reward(self.n_tx, result.had_losses, self.reward_config)
+        state = self._encode_result(result)
+        self.last_reliability = result.reliability
+        self.last_radio_on_ms = result.average_radio_on_ms
+        self._steps += 1
+        self._advance_segment()
+        done = self.remaining_rounds() <= 0
+        info = {
+            "n_tx": self.n_tx,
+            "reliability": result.reliability,
+            "radio_on_ms": result.average_radio_on_ms,
+            "interference_ratio": self._current_ratio(),
+            "had_losses": result.had_losses,
+        }
+        return StepResult(state=state, reward=reward, done=done, info=info)
+
+
+class TraceRecorder:
+    """Records unlabeled training traces from lock-stepped simulations.
+
+    For every round of every episode, ``N_max + 1`` simulators (one per
+    retransmission parameter, all experiencing the same interference
+    timeline) execute the round and their outcomes are stored.  The
+    resulting :class:`~repro.net.trace.TraceSet` contains one
+    :class:`~repro.net.trace.TraceRecord` per (round, N_TX) pair.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        n_max: int = 8,
+        ambient_rate: float = 0.02,
+        round_period_s: float = 4.0,
+        seed: int = 0,
+    ) -> None:
+        if n_max <= 0:
+            raise ValueError("n_max must be positive")
+        self.topology = topology if topology is not None else kiel_testbed()
+        self.n_max = n_max
+        self.ambient_rate = ambient_rate
+        self.round_period_s = round_period_s
+        self.seed = seed
+
+    def record(
+        self,
+        episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES,
+        repetitions: int = 1,
+    ) -> TraceSet:
+        """Run every episode ``repetitions`` times and collect the traces."""
+        trace = TraceSet(metadata={
+            "topology": self.topology.name,
+            "n_max": str(self.n_max),
+            "ambient_rate": str(self.ambient_rate),
+        })
+        round_counter = 0
+        for repetition in range(repetitions):
+            for episode_index, spec in enumerate(episodes):
+                trace.start_episode()
+                episode_seed = self.seed + 101 * repetition + episode_index
+                simulators = {
+                    n_tx: NetworkSimulator(
+                        self.topology,
+                        SimulatorConfig(
+                            round_period_s=self.round_period_s,
+                            channel_hopping=False,
+                            default_n_tx=n_tx,
+                            seed=episode_seed,
+                        ),
+                    )
+                    for n_tx in range(self.n_max + 1)
+                }
+                for segment_rounds, ratio in spec:
+                    interference = build_interference(
+                        self.topology,
+                        ratio,
+                        ambient_rate=self.ambient_rate,
+                        seed=self.seed + episode_index,
+                    )
+                    for simulator in simulators.values():
+                        simulator.set_interference(interference)
+                    for _ in range(segment_rounds):
+                        for n_tx, simulator in simulators.items():
+                            result = simulator.run_round(n_tx=n_tx)
+                            # Record what the coordinator would have seen
+                            # (feedback headers plus pessimistic fill-ins),
+                            # so offline training uses the same input
+                            # distribution as the deployed protocol; the
+                            # loss flag stays ground truth since it only
+                            # feeds the training reward.
+                            view = build_observer_view(
+                                result,
+                                observer=self.topology.coordinator,
+                            )
+                            trace.append(
+                                TraceRecord(
+                                    round_index=round_counter,
+                                    n_tx=n_tx,
+                                    reliabilities=view["reliability"],
+                                    radio_on_ms=view["radio_on_ms"],
+                                    interference_ratio=ratio,
+                                    had_losses=result.had_losses,
+                                )
+                            )
+                        round_counter += 1
+        return trace
+
+
+def group_decision_points(trace: TraceSet) -> List[List[DecisionPoint]]:
+    """Group a trace set into per-episode lists of decision points."""
+    episodes: List[List[DecisionPoint]] = []
+    for records in trace.episodes():
+        by_round: Dict[int, Dict[int, TraceRecord]] = {}
+        ratios: Dict[int, float] = {}
+        for record in records:
+            by_round.setdefault(record.round_index, {})[record.n_tx] = record
+            ratios[record.round_index] = record.interference_ratio
+        points = [
+            DecisionPoint(
+                round_index=round_index,
+                outcomes=outcomes,
+                interference_ratio=ratios[round_index],
+            )
+            for round_index, outcomes in sorted(by_round.items())
+        ]
+        if points:
+            episodes.append(points)
+    return episodes
+
+
+class TraceEnvironment(Environment):
+    """Offline environment replaying recorded traces.
+
+    At every step the agent's action updates ``N_TX``; the outcome the
+    trace recorded for that ``N_TX`` at the current decision point
+    provides the reward and the next state.  Because every decision
+    point stores the outcome of every parameter value, the environment
+    can answer any action sequence, exactly like the paper's
+    sequentially-executed trace collection intends.
+    """
+
+    def __init__(
+        self,
+        trace: TraceSet,
+        feature_config: Optional[FeatureConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        initial_n_tx: Optional[int] = None,
+        episode_length: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.feature_config = feature_config if feature_config is not None else FeatureConfig()
+        self.reward_config = reward_config if reward_config is not None else RewardConfig(
+            n_max=self.feature_config.n_max
+        )
+        self.episodes = group_decision_points(trace)
+        if not self.episodes:
+            raise ValueError("the trace set contains no decision points")
+        max_n_tx = max(
+            n_tx for episode in self.episodes for point in episode for n_tx in point.available_n_tx
+        )
+        if max_n_tx < self.feature_config.n_max:
+            raise ValueError(
+                "the trace set does not cover the configured N_max "
+                f"({max_n_tx} < {self.feature_config.n_max})"
+            )
+        self.initial_n_tx = initial_n_tx
+        self.episode_length = episode_length
+        self._rng = np.random.default_rng(seed)
+        self.encoder = FeatureEncoder(self.feature_config)
+        self._episode: List[DecisionPoint] = []
+        self._cursor = 0
+        self.n_tx = 3
+        self._expected_nodes: List[int] = []
+
+    @property
+    def state_size(self) -> int:
+        return self.feature_config.input_size
+
+    def _encode_point(self, point: DecisionPoint, n_tx: int) -> Tuple[np.ndarray, TraceRecord]:
+        record = point.outcome(n_tx)
+        state = self.encoder.encode_round(
+            record.reliabilities,
+            record.radio_on_ms,
+            n_tx,
+            record.had_losses,
+            expected_nodes=list(record.reliabilities),
+        )
+        return state, record
+
+    def reset(self) -> np.ndarray:
+        """Pick a random episode (and start offset) and return the first state."""
+        episode = self.episodes[int(self._rng.integers(0, len(self.episodes)))]
+        if self.episode_length is not None and len(episode) > self.episode_length + 1:
+            start = int(self._rng.integers(0, len(episode) - self.episode_length))
+            episode = episode[start: start + self.episode_length + 1]
+        self._episode = list(episode)
+        self._cursor = 0
+        self.encoder.reset_history()
+        if self.initial_n_tx is None:
+            self.n_tx = int(self._rng.integers(1, self.feature_config.n_max + 1))
+        else:
+            self.n_tx = self.initial_n_tx
+        state, _ = self._encode_point(self._episode[0], self.n_tx)
+        self._cursor = 1
+        return state
+
+    def step(self, action: int) -> StepResult:
+        """Advance to the next decision point under the chosen action."""
+        if not self._episode:
+            raise RuntimeError("call reset() before step()")
+        if self._cursor >= len(self._episode):
+            raise RuntimeError("episode is exhausted; call reset()")
+        self.n_tx = apply_action(self.n_tx, action, n_max=self.feature_config.n_max, n_min=0)
+        point = self._episode[self._cursor]
+        state, record = self._encode_point(point, self.n_tx)
+        reward = compute_reward(self.n_tx, record.had_losses, self.reward_config)
+        self._cursor += 1
+        done = self._cursor >= len(self._episode)
+        info = {
+            "n_tx": self.n_tx,
+            "had_losses": record.had_losses,
+            "interference_ratio": point.interference_ratio,
+        }
+        return StepResult(state=state, reward=reward, done=done, info=info)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.simulator import NetworkSimulator, SimulatorConfig
+from repro.net.topology import grid_topology, kiel_testbed
+from repro.rl.qnetwork import QNetwork
+
+
+@pytest.fixture(scope="session")
+def kiel():
+    """The 18-node testbed topology (session-scoped, it is immutable)."""
+    return kiel_testbed()
+
+
+@pytest.fixture()
+def small_topology():
+    """A small 3x3 grid, cheap enough for per-test simulations."""
+    return grid_topology(rows=3, cols=3, spacing_m=6.0, comm_range_m=9.0)
+
+
+@pytest.fixture()
+def small_simulator(small_topology):
+    """A deterministic simulator over the small grid."""
+    return NetworkSimulator(
+        small_topology,
+        SimulatorConfig(seed=7, channel_hopping=False, round_period_s=1.0),
+    )
+
+
+@pytest.fixture()
+def untrained_network():
+    """A randomly initialised 31-30-3 Q-network (no training needed)."""
+    return QNetwork((31, 30, 3), seed=0)
+
+
+@pytest.fixture()
+def rng():
+    """A seeded random generator."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,84 @@
+"""Tests for the statistics collector and global view."""
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import GlobalView, StatisticsCollector
+from repro.net.channels import ChannelHopper
+from repro.net.lwb import LWBRoundEngine, Schedule
+from repro.net.node import Node, NodeRole
+from repro.net.topology import kiel_testbed
+
+
+@pytest.fixture()
+def round_result(kiel):
+    engine = LWBRoundEngine(kiel, hopper=ChannelHopper(enabled=False), rng=np.random.default_rng(0))
+    nodes = {
+        node_id: Node(
+            node_id=node_id,
+            position=kiel.positions[node_id],
+            role=NodeRole.COORDINATOR if node_id == kiel.coordinator else NodeRole.FORWARDER,
+        )
+        for node_id in kiel.node_ids
+    }
+    schedule = Schedule(round_index=0, n_tx=3, slots=tuple(kiel.node_ids))
+    return engine.run_round(nodes, schedule)
+
+
+class TestGlobalView:
+    def test_worst_and_average(self):
+        view = GlobalView(reliabilities={0: 1.0, 1: 0.5}, radio_on_ms={0: 5.0, 1: 10.0})
+        assert view.worst_reliability() == pytest.approx(0.5)
+        assert view.average_reliability() == pytest.approx(0.75)
+
+    def test_empty_view_defaults(self):
+        view = GlobalView(reliabilities={}, radio_on_ms={})
+        assert view.worst_reliability() == 1.0
+        assert view.average_reliability() == 1.0
+
+
+class TestStatisticsCollector:
+    def test_clean_round_has_no_losses(self, kiel, round_result):
+        collector = StatisticsCollector(observer=kiel.coordinator, expected_nodes=kiel.node_ids)
+        view = collector.build_view(round_result)
+        assert not view.had_losses
+        assert set(view.reliabilities) == set(kiel.node_ids)
+        assert view.missing_feedback == []
+
+    def test_missing_feedback_flags_losses(self, kiel, round_result):
+        collector = StatisticsCollector(observer=kiel.coordinator, expected_nodes=kiel.node_ids)
+        # Forge one slot the coordinator did not receive.
+        victim_slot = next(s for s in round_result.slots if s.source != kiel.coordinator)
+        victim_slot.flood.received[kiel.coordinator] = False
+        view = collector.build_view(round_result)
+        assert view.had_losses
+        assert victim_slot.source in view.missing_feedback
+        assert view.reliabilities[victim_slot.source] == 0.0
+        assert view.radio_on_ms[victim_slot.source] == pytest.approx(20.0)
+
+    def test_calm_round_counting(self, kiel, round_result):
+        collector = StatisticsCollector(observer=kiel.coordinator, expected_nodes=kiel.node_ids)
+        collector.build_view(round_result)
+        collector.build_view(round_result)
+        assert collector.calm_rounds() == 2
+        assert not collector.losses_in_last(2)
+
+    def test_history_window_bounded(self, kiel, round_result):
+        collector = StatisticsCollector(
+            observer=kiel.coordinator, expected_nodes=kiel.node_ids, loss_history_window=3
+        )
+        for _ in range(6):
+            collector.build_view(round_result)
+        assert len(collector.recent_views(10)) == 3
+
+    def test_latest_view_and_reset(self, kiel, round_result):
+        collector = StatisticsCollector(observer=kiel.coordinator, expected_nodes=kiel.node_ids)
+        assert collector.latest_view is None
+        collector.build_view(round_result)
+        assert collector.latest_view is not None
+        collector.reset()
+        assert collector.latest_view is None
+
+    def test_invalid_window_rejected(self, kiel):
+        with pytest.raises(ValueError):
+            StatisticsCollector(observer=0, expected_nodes=kiel.node_ids, loss_history_window=0)

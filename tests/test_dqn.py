@@ -1,0 +1,152 @@
+"""Tests for the DQN agent and its training loop."""
+
+import numpy as np
+import pytest
+
+from repro.rl.dqn import DQNAgent, DQNConfig, EpsilonSchedule
+from repro.rl.environment import Environment, StepResult
+
+
+class CorridorEnvironment(Environment):
+    """A tiny deterministic environment with a known optimal policy.
+
+    The agent sits at an integer position in [0, 4]; action 2 moves
+    right, action 0 moves left, action 1 stays.  Reward is 1.0 when the
+    agent is at position 4, else 0.  Episodes last 8 steps.  The optimal
+    policy therefore always moves right.
+    """
+
+    def __init__(self) -> None:
+        self.position = 0
+        self.steps = 0
+
+    @property
+    def state_size(self) -> int:
+        return 5
+
+    def _state(self) -> np.ndarray:
+        state = np.zeros(5)
+        state[self.position] = 1.0
+        return state
+
+    def reset(self) -> np.ndarray:
+        self.position = 0
+        self.steps = 0
+        return self._state()
+
+    def step(self, action: int) -> StepResult:
+        if action == 2:
+            self.position = min(4, self.position + 1)
+        elif action == 0:
+            self.position = max(0, self.position - 1)
+        self.steps += 1
+        reward = 1.0 if self.position == 4 else 0.0
+        return StepResult(state=self._state(), reward=reward, done=self.steps >= 8, info={})
+
+
+class TestEpsilonSchedule:
+    def test_linear_annealing(self):
+        schedule = EpsilonSchedule(start=1.0, end=0.0, anneal_steps=100)
+        assert schedule.value(0) == pytest.approx(1.0)
+        assert schedule.value(50) == pytest.approx(0.5)
+        assert schedule.value(100) == pytest.approx(0.0)
+        assert schedule.value(500) == pytest.approx(0.0)
+
+    def test_paper_defaults(self):
+        schedule = EpsilonSchedule()
+        assert schedule.start == 1.0
+        assert schedule.end == 0.01
+        assert schedule.anneal_steps == 100_000
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            EpsilonSchedule(start=0.1, end=0.5)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(anneal_steps=0)
+        with pytest.raises(ValueError):
+            EpsilonSchedule().value(-1)
+
+
+class TestDQNConfig:
+    def test_paper_architecture(self):
+        config = DQNConfig()
+        assert config.layer_sizes == (31, 30, 3)
+        assert config.discount == pytest.approx(0.7)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DQNConfig(discount=1.0)
+        with pytest.raises(ValueError):
+            DQNConfig(batch_size=0)
+
+
+class TestDQNAgent:
+    def test_act_greedy_matches_online_network(self):
+        agent = DQNAgent(DQNConfig(state_size=5, seed=0))
+        state = np.zeros(5)
+        assert agent.act(state, greedy=True) == agent.online.predict_action(state)
+
+    def test_exploration_at_start_is_random(self):
+        agent = DQNAgent(DQNConfig(state_size=5, seed=0))
+        actions = {agent.act(np.zeros(5)) for _ in range(50)}
+        assert len(actions) > 1
+
+    def test_observe_fills_buffer(self):
+        agent = DQNAgent(DQNConfig(state_size=5, seed=0))
+        agent.observe(np.zeros(5), 1, 0.5, np.ones(5), False)
+        assert len(agent.buffer) == 1
+        assert agent.total_steps == 1
+
+    def test_target_network_syncs(self):
+        config = DQNConfig(state_size=5, target_sync_interval=3, train_start=1000, seed=0)
+        agent = DQNAgent(config)
+        agent.online.weights[0][0, 0] += 5.0
+        for _ in range(3):
+            agent.observe(np.zeros(5), 0, 0.0, np.zeros(5), False)
+        assert agent.target.weights[0][0, 0] == pytest.approx(agent.online.weights[0][0, 0])
+
+    def test_learns_corridor_task(self):
+        config = DQNConfig(
+            state_size=5,
+            hidden_sizes=(16,),
+            discount=0.9,
+            learning_rate=5e-3,
+            train_start=64,
+            target_sync_interval=200,
+            epsilon=EpsilonSchedule(anneal_steps=1500),
+            seed=0,
+        )
+        agent = DQNAgent(config)
+        result = agent.train(CorridorEnvironment(), iterations=4000)
+        assert result.episodes > 100
+        # The optimal return is 4 (reaching the goal at step 4 of 8);
+        # a trained agent should get most of it.
+        assert result.average_reward_last_episodes >= 3.0
+        # And the greedy policy should move right from the start state.
+        start = np.zeros(5)
+        start[0] = 1.0
+        assert agent.act(start, greedy=True) == 2
+
+    def test_train_checks_state_size(self):
+        agent = DQNAgent(DQNConfig(state_size=7, seed=0))
+        with pytest.raises(ValueError):
+            agent.train(CorridorEnvironment(), iterations=10)
+
+    def test_evaluate_returns_metrics(self):
+        agent = DQNAgent(DQNConfig(state_size=5, seed=0))
+        metrics = agent.evaluate(CorridorEnvironment(), episodes=2)
+        assert "average_reward" in metrics
+
+    def test_quantize_produces_embedded_network(self):
+        agent = DQNAgent(DQNConfig(seed=0))
+        quantized = agent.quantize()
+        assert quantized.report().flash_bytes > 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        agent = DQNAgent(DQNConfig(state_size=5, seed=0))
+        path = tmp_path / "agent.json"
+        agent.save(path)
+        other = DQNAgent(DQNConfig(state_size=5, seed=99))
+        other.load(path)
+        state = np.ones(5)
+        assert np.allclose(agent.online(state), other.online(state))

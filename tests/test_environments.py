@@ -1,0 +1,151 @@
+"""Tests for the RL environments (action helpers, simulation env, trace env)."""
+
+import numpy as np
+import pytest
+
+from repro.net.topology import grid_topology
+from repro.rl.environment import Action, apply_action
+from repro.rl.features import FeatureConfig
+from repro.rl.trace_env import (
+    SimulationEnvironment,
+    TraceEnvironment,
+    TraceRecorder,
+    build_interference,
+    group_decision_points,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_topology():
+    return grid_topology(rows=2, cols=3, spacing_m=6.0, comm_range_m=9.0, name="tiny")
+
+
+@pytest.fixture(scope="module")
+def tiny_trace(tiny_topology):
+    recorder = TraceRecorder(tiny_topology, n_max=3, seed=0)
+    return recorder.record(episodes=[((2, 0.0), (2, 0.3))], repetitions=1)
+
+
+class TestActions:
+    def test_action_deltas(self):
+        assert Action.DECREASE.delta() == -1
+        assert Action.MAINTAIN.delta() == 0
+        assert Action.INCREASE.delta() == 1
+
+    def test_apply_action_clamps(self):
+        assert apply_action(8, Action.INCREASE, n_max=8) == 8
+        assert apply_action(0, Action.DECREASE, n_max=8, n_min=0) == 0
+        assert apply_action(1, Action.DECREASE, n_max=8, n_min=1) == 1
+        assert apply_action(3, Action.INCREASE, n_max=8) == 4
+
+    def test_apply_action_invalid_range(self):
+        with pytest.raises(ValueError):
+            apply_action(3, Action.MAINTAIN, n_max=1, n_min=2)
+
+
+class TestBuildInterference:
+    def test_zero_ratio_without_ambient_is_clean(self, tiny_topology):
+        source = build_interference(tiny_topology, 0.0, ambient_rate=0.0)
+        assert not source.is_active(0.0)
+
+    def test_positive_ratio_builds_jammers(self, tiny_topology):
+        source = build_interference(tiny_topology, 0.3, ambient_rate=0.0)
+        assert source.is_active(0.0)
+
+
+class TestTraceRecorder:
+    def test_records_all_ntx_values(self, tiny_trace):
+        n_tx_values = {record.n_tx for record in tiny_trace}
+        assert n_tx_values == set(range(4))
+
+    def test_records_grouped_per_round(self, tiny_trace):
+        episodes = group_decision_points(tiny_trace)
+        assert len(episodes) == 1
+        assert len(episodes[0]) == 4  # 2 + 2 rounds
+        assert all(len(point.outcomes) == 4 for point in episodes[0])
+
+    def test_interference_ratio_recorded(self, tiny_trace):
+        episodes = group_decision_points(tiny_trace)
+        ratios = [point.interference_ratio for point in episodes[0]]
+        assert ratios == [0.0, 0.0, 0.3, 0.3]
+
+    def test_decision_point_lookup(self, tiny_trace):
+        point = group_decision_points(tiny_trace)[0][0]
+        assert point.outcome(2).n_tx == 2
+        with pytest.raises(KeyError):
+            point.outcome(9)
+        assert point.available_n_tx == [0, 1, 2, 3]
+
+
+class TestTraceEnvironment:
+    def test_state_size_matches_config(self, tiny_trace):
+        config = FeatureConfig(num_input_nodes=4, history_size=2, n_max=3)
+        env = TraceEnvironment(tiny_trace, feature_config=config, seed=0)
+        state = env.reset()
+        assert state.shape == (config.input_size,)
+        assert env.state_size == config.input_size
+
+    def test_step_returns_reward_and_done(self, tiny_trace):
+        config = FeatureConfig(num_input_nodes=4, history_size=2, n_max=3)
+        env = TraceEnvironment(tiny_trace, feature_config=config, initial_n_tx=2, seed=0)
+        env.reset()
+        steps = 0
+        done = False
+        while not done:
+            result = env.step(Action.MAINTAIN)
+            assert 0.0 <= result.reward <= 1.0
+            done = result.done
+            steps += 1
+        assert steps == 3
+
+    def test_action_changes_ntx(self, tiny_trace):
+        config = FeatureConfig(num_input_nodes=4, history_size=2, n_max=3)
+        env = TraceEnvironment(tiny_trace, feature_config=config, initial_n_tx=1, seed=0)
+        env.reset()
+        result = env.step(Action.INCREASE)
+        assert result.info["n_tx"] == 2
+
+    def test_step_before_reset_rejected(self, tiny_trace):
+        config = FeatureConfig(num_input_nodes=4, history_size=2, n_max=3)
+        env = TraceEnvironment(tiny_trace, feature_config=config, seed=0)
+        with pytest.raises(RuntimeError):
+            env.step(Action.MAINTAIN)
+
+    def test_nmax_coverage_checked(self, tiny_trace):
+        with pytest.raises(ValueError):
+            TraceEnvironment(tiny_trace, feature_config=FeatureConfig(n_max=8), seed=0)
+
+
+class TestSimulationEnvironment:
+    def test_reset_and_step(self, tiny_topology):
+        env = SimulationEnvironment(
+            topology=tiny_topology,
+            feature_config=FeatureConfig(num_input_nodes=4, history_size=2, n_max=3),
+            episodes=[((3, 0.0),)],
+            seed=0,
+        )
+        state = env.reset()
+        assert state.shape == (env.state_size,)
+        result = env.step(Action.MAINTAIN)
+        assert "reliability" in result.info
+        assert "radio_on_ms" in result.info
+
+    def test_episode_terminates(self, tiny_topology):
+        env = SimulationEnvironment(
+            topology=tiny_topology,
+            feature_config=FeatureConfig(num_input_nodes=4, history_size=2, n_max=3),
+            episodes=[((2, 0.0),)],
+            seed=0,
+        )
+        env.reset()
+        result = env.step(Action.MAINTAIN)
+        assert result.done
+
+    def test_step_before_reset_rejected(self, tiny_topology):
+        env = SimulationEnvironment(topology=tiny_topology, episodes=[((2, 0.0),)], seed=0)
+        with pytest.raises(RuntimeError):
+            env.step(Action.MAINTAIN)
+
+    def test_empty_episode_rejected(self, tiny_topology):
+        with pytest.raises(ValueError):
+            SimulationEnvironment(topology=tiny_topology, episodes=[], seed=0)

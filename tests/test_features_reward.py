@@ -1,0 +1,142 @@
+"""Tests for the Table-I feature encoding and the Eq. 3 reward."""
+
+import numpy as np
+import pytest
+
+from repro.rl.features import FeatureConfig, FeatureEncoder, PAPER_FEATURE_CONFIG
+from repro.rl.reward import RewardConfig, compute_reward
+
+
+class TestFeatureConfig:
+    def test_paper_config_has_31_inputs(self):
+        assert PAPER_FEATURE_CONFIG.input_size == 31
+
+    def test_input_size_formula(self):
+        config = FeatureConfig(num_input_nodes=5, history_size=3, n_max=4)
+        assert config.input_size == 2 * 5 + 5 + 3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(num_input_nodes=0)
+        with pytest.raises(ValueError):
+            FeatureConfig(history_size=-1)
+        with pytest.raises(ValueError):
+            FeatureConfig(reliability_floor=1.0)
+
+
+class TestNormalization:
+    def test_radio_on_range(self):
+        encoder = FeatureEncoder()
+        assert encoder.normalize_radio_on(0.0) == pytest.approx(-1.0)
+        assert encoder.normalize_radio_on(20.0) == pytest.approx(1.0)
+        assert encoder.normalize_radio_on(10.0) == pytest.approx(0.0)
+        assert encoder.normalize_radio_on(50.0) == pytest.approx(1.0)
+
+    def test_reliability_range(self):
+        encoder = FeatureEncoder()
+        assert encoder.normalize_reliability(1.0) == pytest.approx(1.0)
+        assert encoder.normalize_reliability(0.75) == pytest.approx(0.0)
+        assert encoder.normalize_reliability(0.5) == pytest.approx(-1.0)
+        # Anything below the 50 % floor saturates at -1.
+        assert encoder.normalize_reliability(0.2) == pytest.approx(-1.0)
+
+
+class TestEncoding:
+    def test_vector_size_matches_config(self):
+        encoder = FeatureEncoder(FeatureConfig(num_input_nodes=4, history_size=1, n_max=3))
+        vector = encoder.encode({0: 1.0, 1: 0.9}, {0: 5.0, 1: 6.0}, n_tx=2)
+        assert vector.shape == (2 * 4 + 4 + 1,)
+
+    def test_one_hot_encoding_of_ntx(self):
+        encoder = FeatureEncoder()
+        vector = encoder.encode({i: 1.0 for i in range(10)}, {i: 5.0 for i in range(10)}, n_tx=4)
+        one_hot = vector[20:29]
+        assert one_hot[4] == 1.0
+        assert one_hot.sum() == pytest.approx(1.0)
+
+    def test_worst_nodes_selected(self):
+        encoder = FeatureEncoder(FeatureConfig(num_input_nodes=2, history_size=0))
+        reliabilities = {0: 1.0, 1: 0.3, 2: 0.6, 3: 0.99}
+        assert encoder.select_worst_nodes(reliabilities) == [1, 2]
+
+    def test_silent_nodes_treated_pessimistically(self):
+        encoder = FeatureEncoder(FeatureConfig(num_input_nodes=3, history_size=0))
+        worst = encoder.select_worst_nodes({0: 1.0}, expected_nodes=[0, 1, 2])
+        assert set(worst) == {0, 1, 2}
+        vector = encoder.encode({0: 1.0}, {0: 5.0}, n_tx=3, expected_nodes=[0, 1, 2])
+        # The two silent nodes appear with -1 reliability and +1 radio-on.
+        assert list(vector[:3]).count(1.0) >= 2
+        assert list(vector[3:6]).count(-1.0) >= 2
+
+    def test_small_deployments_padded(self):
+        encoder = FeatureEncoder()
+        vector = encoder.encode({0: 1.0, 1: 1.0}, {0: 4.0, 1: 4.0}, n_tx=3)
+        assert vector.shape == (31,)
+
+    def test_values_bounded(self):
+        encoder = FeatureEncoder()
+        rng = np.random.default_rng(0)
+        reliabilities = {i: float(rng.uniform(0, 1)) for i in range(18)}
+        radio = {i: float(rng.uniform(0, 25)) for i in range(18)}
+        vector = encoder.encode(reliabilities, radio, n_tx=5)
+        assert np.all(vector >= -1.0) and np.all(vector <= 1.0)
+
+    def test_invalid_ntx_rejected(self):
+        encoder = FeatureEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode({0: 1.0}, {0: 1.0}, n_tx=9)
+
+
+class TestHistory:
+    def test_history_starts_all_good(self):
+        assert FeatureEncoder().history == [1.0, 1.0]
+
+    def test_record_history_shifts(self):
+        encoder = FeatureEncoder()
+        encoder.record_history(True)
+        assert encoder.history == [-1.0, 1.0]
+        encoder.record_history(False)
+        assert encoder.history == [1.0, -1.0]
+
+    def test_history_length_fixed(self):
+        encoder = FeatureEncoder()
+        for _ in range(10):
+            encoder.record_history(True)
+        assert len(encoder.history) == 2
+
+    def test_encode_round_updates_history_after_encoding(self):
+        encoder = FeatureEncoder()
+        vector = encoder.encode_round({0: 0.5}, {0: 20.0}, n_tx=3, had_losses=True)
+        # The history rows of this vector still show the pre-round state.
+        assert vector[-1] == 1.0 and vector[-2] == 1.0
+        assert encoder.history[0] == -1.0
+
+    def test_zero_history_config(self):
+        encoder = FeatureEncoder(FeatureConfig(history_size=0))
+        encoder.record_history(True)
+        assert encoder.history == []
+
+
+class TestReward:
+    def test_losses_give_zero(self):
+        assert compute_reward(3, had_losses=True) == 0.0
+
+    def test_no_losses_reward_formula(self):
+        assert compute_reward(0, False) == pytest.approx(1.0)
+        assert compute_reward(8, False) == pytest.approx(1.0 - 0.3)
+        assert compute_reward(4, False) == pytest.approx(1.0 - 0.15)
+
+    def test_lower_ntx_preferred_when_clean(self):
+        assert compute_reward(1, False) > compute_reward(5, False)
+
+    def test_custom_constants(self):
+        config = RewardConfig(efficiency_weight=0.8, n_max=4)
+        assert compute_reward(4, False, config) == pytest.approx(0.2)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_reward(-1, False)
+        with pytest.raises(ValueError):
+            RewardConfig(n_max=0)
+        with pytest.raises(ValueError):
+            RewardConfig(efficiency_weight=-0.1)

@@ -1,0 +1,165 @@
+"""Tests for the interference sources."""
+
+import pytest
+
+from repro.net.interference import (
+    AmbientInterference,
+    BurstJammer,
+    CompositeInterference,
+    NoInterference,
+    WifiInterference,
+    burst_period_ms,
+)
+
+
+class TestBurstPeriod:
+    def test_ten_percent_is_130ms(self):
+        assert burst_period_ms(0.10) == pytest.approx(130.0)
+
+    def test_thirty_five_percent_is_about_37ms(self):
+        assert burst_period_ms(0.35) == pytest.approx(37.14, abs=0.1)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            burst_period_ms(0.0)
+
+
+class TestNoInterference:
+    def test_penalty_always_zero(self):
+        source = NoInterference()
+        assert source.penalty((0.0, 0.0), 123.0, 2.0, 26) == 0.0
+        assert not source.is_active(0.0)
+
+
+class TestBurstJammer:
+    def test_period_from_ratio(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.10)
+        assert jammer.period_ms == pytest.approx(130.0)
+
+    def test_reception_during_burst_is_jammed_nearby(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.30, channels=None)
+        # The first burst starts at t=0 and lasts 13 ms.
+        assert jammer.penalty((1.0, 1.0), 1.0, 2.0, 26) == pytest.approx(1.0)
+
+    def test_reception_between_bursts_is_clean(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.10, channels=None)
+        # Burst covers [0, 13); [60, 62) sits in the gap before 130.
+        assert jammer.penalty((1.0, 1.0), 60.0, 2.0, 26) == 0.0
+
+    def test_far_receivers_unaffected(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.30, channels=None, range_m=5.0)
+        assert jammer.penalty((100.0, 100.0), 1.0, 2.0, 26) == 0.0
+
+    def test_spatial_falloff_between_range_and_twice_range(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.30, channels=None, range_m=5.0)
+        inside = jammer.penalty((2.0, 0.0), 1.0, 2.0, 26)
+        annulus = jammer.penalty((7.5, 0.0), 1.0, 2.0, 26)
+        assert inside == pytest.approx(1.0)
+        assert 0.0 < annulus < 1.0
+
+    def test_channel_filter(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.30, channels=(26,))
+        assert jammer.penalty((1.0, 1.0), 1.0, 2.0, 15) == 0.0
+        assert jammer.penalty((1.0, 1.0), 1.0, 2.0, 26) > 0.0
+
+    def test_activation_window(self):
+        jammer = BurstJammer(
+            position=(0.0, 0.0), interference_ratio=0.30, channels=None,
+            start_ms=1000.0, end_ms=2000.0,
+        )
+        assert not jammer.is_active(500.0)
+        assert jammer.is_active(1500.0)
+        assert not jammer.is_active(2500.0)
+        assert jammer.penalty((1.0, 1.0), 500.0, 2.0, 26) == 0.0
+
+    def test_zero_ratio_never_active(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.0)
+        assert not jammer.is_active(0.0)
+        assert jammer.burst_overlap_fraction(0.0, 20.0) == 0.0
+
+    def test_overlap_fraction_matches_duty_cycle(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.25, channels=None)
+        # Over a long window the covered fraction approaches the duty cycle.
+        assert jammer.burst_overlap_fraction(0.0, 5200.0) == pytest.approx(0.25, abs=0.02)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            BurstJammer(position=(0.0, 0.0), interference_ratio=1.5)
+
+
+class TestWifiInterference:
+    def test_levels_have_presets(self):
+        level1 = WifiInterference(level=1)
+        level2 = WifiInterference(level=2)
+        assert level2.duty_cycle > level1.duty_cycle
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            WifiInterference(level=3)
+
+    def test_penalty_bounded(self):
+        wifi = WifiInterference(level=2, seed=1)
+        for start in range(0, 200, 7):
+            penalty = wifi.penalty((0.0, 0.0), float(start), 1.6, 15)
+            assert 0.0 <= penalty <= 1.0
+
+    def test_some_windows_are_jammed_at_level_2(self):
+        wifi = WifiInterference(level=2, seed=1)
+        # Channel 12 sits in the middle of WiFi channel 1's bandwidth.
+        penalties = [wifi.penalty((0.0, 0.0), float(t), 1.6, 12) for t in range(0, 2000, 5)]
+        assert any(p > 0.0 for p in penalties)
+        assert any(p == 0.0 for p in penalties)
+
+    def test_deterministic_per_time(self):
+        wifi = WifiInterference(level=1, seed=4)
+        assert wifi.penalty((0.0, 0.0), 37.0, 1.6, 12) == wifi.penalty((0.0, 0.0), 37.0, 1.6, 12)
+
+
+class TestAmbientInterference:
+    def test_penalty_is_binary(self):
+        ambient = AmbientInterference(rate=0.5, seed=2)
+        penalties = {ambient.penalty((0.0, 0.0), float(t), 1.6, 26) for t in range(0, 3000, 3)}
+        assert penalties <= {0.0, 1.0}
+
+    def test_zero_rate_never_jams(self):
+        ambient = AmbientInterference(rate=0.0, seed=2)
+        assert all(
+            ambient.penalty((0.0, 0.0), float(t), 1.6, 26) == 0.0 for t in range(0, 1000, 10)
+        )
+
+    def test_rate_roughly_controls_occupancy(self):
+        low = AmbientInterference(rate=0.05, seed=3)
+        high = AmbientInterference(rate=0.5, seed=3)
+        times = range(0, 20000, 7)
+        low_hits = sum(low.penalty((0.0, 0.0), float(t), 1.6, 26) for t in times)
+        high_hits = sum(high.penalty((0.0, 0.0), float(t), 1.6, 26) for t in times)
+        assert high_hits > low_hits
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AmbientInterference(rate=1.5)
+
+
+class TestCompositeInterference:
+    def test_combines_independent_sources(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.30, channels=None)
+        composite = CompositeInterference([NoInterference(), jammer])
+        assert composite.penalty((1.0, 1.0), 1.0, 2.0, 26) == pytest.approx(
+            jammer.penalty((1.0, 1.0), 1.0, 2.0, 26)
+        )
+
+    def test_empty_composite_is_clean(self):
+        assert CompositeInterference().penalty((0.0, 0.0), 0.0, 2.0, 26) == 0.0
+
+    def test_add_source(self):
+        composite = CompositeInterference()
+        composite.add(BurstJammer(position=(0.0, 0.0), interference_ratio=0.3, channels=None))
+        assert composite.is_active(0.0)
+
+    def test_penalty_never_exceeds_one(self):
+        sources = [
+            BurstJammer(position=(0.0, 0.0), interference_ratio=0.5, channels=None),
+            BurstJammer(position=(0.5, 0.5), interference_ratio=0.5, channels=None),
+        ]
+        composite = CompositeInterference(sources)
+        assert composite.penalty((0.0, 0.0), 1.0, 2.0, 26) <= 1.0

@@ -1,0 +1,85 @@
+"""Tests for the link model."""
+
+import pytest
+
+from repro.net.link import LinkModel
+from repro.net.topology import grid_topology, kiel_testbed
+
+
+@pytest.fixture()
+def link_model(kiel):
+    return LinkModel(kiel, seed=0)
+
+
+class TestLinkQuality:
+    def test_short_links_are_strong(self, link_model, kiel):
+        neighbor = kiel.neighbors(0)[0]
+        assert link_model.prr(0, neighbor) > 0.9
+
+    def test_out_of_range_links_are_dead(self, link_model, kiel):
+        # Find a pair beyond communication range.
+        for a in kiel.node_ids:
+            for b in kiel.node_ids:
+                if a != b and kiel.distance(a, b) > kiel.comm_range_m:
+                    assert link_model.prr(a, b) == 0.0
+                    return
+        pytest.skip("topology has no out-of-range pair")
+
+    def test_prr_bounded(self, link_model, kiel):
+        for a in kiel.node_ids[:5]:
+            for b in kiel.node_ids[:5]:
+                if a != b:
+                    assert 0.0 <= link_model.prr(a, b) <= 1.0
+
+    def test_link_quality_cached(self, link_model):
+        first = link_model.link(0, 1)
+        second = link_model.link(0, 1)
+        assert first is second
+
+    def test_shadowing_symmetric(self, kiel):
+        model = LinkModel(kiel, seed=3)
+        assert model.rssi_dbm(1, 2) == pytest.approx(model.rssi_dbm(2, 1))
+
+    def test_shadowing_reproducible(self, kiel):
+        a = LinkModel(kiel, seed=5)
+        b = LinkModel(kiel, seed=5)
+        assert a.prr(0, 1) == pytest.approx(b.prr(0, 1))
+
+    def test_prr_decreases_with_distance(self):
+        topo = grid_topology(1, 5, spacing_m=2.5, comm_range_m=10.0)
+        model = LinkModel(topo, shadowing_std_db=0.0)
+        assert model.prr(0, 1) >= model.prr(0, 3)
+
+
+class TestReceptionProbability:
+    def test_no_transmitters_means_no_reception(self, link_model):
+        assert link_model.reception_probability([], 0) == 0.0
+
+    def test_more_transmitters_never_hurt(self, link_model, kiel):
+        neighbors = kiel.neighbors(0)[:3]
+        single = link_model.reception_probability(neighbors[:1], 0)
+        multiple = link_model.reception_probability(neighbors, 0)
+        assert multiple >= single
+
+    def test_interference_penalty_reduces_probability(self, link_model, kiel):
+        neighbors = kiel.neighbors(0)[:2]
+        clean = link_model.reception_probability(neighbors, 0, interference_penalty=0.0)
+        jammed = link_model.reception_probability(neighbors, 0, interference_penalty=0.9)
+        assert jammed < clean
+
+    def test_full_penalty_blocks_reception(self, link_model, kiel):
+        neighbors = kiel.neighbors(0)[:2]
+        assert link_model.reception_probability(neighbors, 0, interference_penalty=1.0) == 0.0
+
+    def test_invalid_penalty_rejected(self, link_model):
+        with pytest.raises(ValueError):
+            link_model.reception_probability([1], 0, interference_penalty=1.5)
+
+    def test_probability_bounded(self, link_model, kiel):
+        probability = link_model.reception_probability(kiel.neighbors(0), 0)
+        assert 0.0 <= probability <= 1.0
+
+    def test_usable_links_only_above_threshold(self, link_model):
+        links = link_model.usable_links(min_prr=0.5)
+        assert links
+        assert all(quality.prr >= 0.5 for quality in links.values())

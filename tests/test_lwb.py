@@ -1,0 +1,141 @@
+"""Tests for the LWB round engine."""
+
+import numpy as np
+import pytest
+
+from repro.net.channels import ChannelHopper
+from repro.net.interference import BurstJammer, CompositeInterference
+from repro.net.lwb import LWBRoundEngine, Schedule, build_observer_view
+from repro.net.node import Node, NodeRole
+from repro.net.topology import kiel_testbed
+
+
+@pytest.fixture()
+def engine(kiel):
+    return LWBRoundEngine(kiel, hopper=ChannelHopper(enabled=False), rng=np.random.default_rng(0))
+
+
+@pytest.fixture()
+def nodes(kiel):
+    built = {}
+    for node_id in kiel.node_ids:
+        role = NodeRole.COORDINATOR if node_id == kiel.coordinator else NodeRole.FORWARDER
+        built[node_id] = Node(node_id=node_id, position=kiel.positions[node_id], role=role)
+    return built
+
+
+def make_schedule(kiel, n_tx=3, round_index=0):
+    return Schedule(round_index=round_index, n_tx=n_tx, slots=tuple(kiel.node_ids))
+
+
+class TestSchedule:
+    def test_to_packet_carries_parameters(self, kiel):
+        schedule = Schedule(round_index=4, n_tx=5, slots=(1, 2, 3), learning_node=2,
+                            forwarder_selection=True)
+        packet = schedule.to_packet(kiel.coordinator)
+        assert packet.n_tx == 5
+        assert packet.slots == (1, 2, 3)
+        assert packet.forwarder_selection
+        assert packet.learning_node == 2
+        assert packet.round_index == 4
+
+    def test_negative_ntx_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(round_index=0, n_tx=-1, slots=())
+
+
+class TestRoundExecution:
+    def test_clean_round_is_fully_reliable(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        assert result.reliability == pytest.approx(1.0)
+        assert not result.had_losses
+        assert len(result.slots) == kiel.num_nodes
+
+    def test_nodes_apply_the_schedule_ntx(self, engine, nodes, kiel):
+        engine.run_round(nodes, make_schedule(kiel, n_tx=6))
+        synchronized = [n for n in kiel.node_ids if nodes[n].n_tx == 6]
+        assert len(synchronized) >= kiel.num_nodes - 2
+
+    def test_radio_on_accounted_for_every_node(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        assert set(result.radio_on_ms) == set(kiel.node_ids)
+        assert all(value > 0 for value in result.radio_on_ms.values())
+
+    def test_average_radio_on_within_slot_bounds(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        assert 0.0 < result.average_radio_on_ms <= engine.slot_ms
+
+    def test_per_node_reliability_all_ones_when_clean(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        assert all(v == pytest.approx(1.0) for v in result.per_node_reliability().values())
+
+    def test_feedback_headers_collected(self, engine, nodes, kiel):
+        engine.run_round(nodes, make_schedule(kiel), collect_feedback=True)
+        coordinator = nodes[kiel.coordinator]
+        assert len(coordinator.neighbor_feedback) >= kiel.num_nodes - 2
+
+    def test_no_feedback_when_disabled(self, engine, nodes, kiel):
+        engine.run_round(nodes, make_schedule(kiel), collect_feedback=False)
+        assert not nodes[kiel.coordinator].neighbor_feedback
+
+    def test_destinations_limit_accounting(self, engine, nodes, kiel):
+        sink = kiel.coordinator
+        result = engine.run_round(nodes, make_schedule(kiel), destinations=[sink])
+        others = [n for n in kiel.node_ids if n != sink]
+        assert all(result.packets_expected[n] == 0 for n in others)
+        assert result.packets_expected[sink] == len(kiel.node_ids) - 1
+
+    def test_passive_nodes_save_energy(self, engine, kiel, nodes):
+        baseline = engine.run_round(nodes, make_schedule(kiel))
+        passive_nodes = {}
+        for node_id in kiel.node_ids:
+            role = NodeRole.COORDINATOR if node_id == kiel.coordinator else NodeRole.FORWARDER
+            passive_nodes[node_id] = Node(
+                node_id=node_id, position=kiel.positions[node_id], role=role
+            )
+        chosen = [n for n in kiel.node_ids if n != kiel.coordinator][:5]
+        for node in chosen:
+            passive_nodes[node].set_role(NodeRole.PASSIVE)
+        engine2 = LWBRoundEngine(kiel, hopper=ChannelHopper(enabled=False), rng=np.random.default_rng(0))
+        result = engine2.run_round(passive_nodes, make_schedule(kiel))
+        avg_passive = np.mean([result.radio_on_ms[n] for n in chosen])
+        avg_baseline = np.mean([baseline.radio_on_ms[n] for n in chosen])
+        assert avg_passive < avg_baseline
+
+    def test_jamming_causes_losses_at_low_ntx(self, kiel, nodes):
+        engine = LWBRoundEngine(kiel, hopper=ChannelHopper(enabled=False), rng=np.random.default_rng(5))
+        jam = CompositeInterference([
+            BurstJammer(position=p, interference_ratio=0.35, channels=None) for p in kiel.jammers
+        ])
+        results = [
+            engine.run_round(nodes, make_schedule(kiel, n_tx=1, round_index=i),
+                             start_ms=i * 4000.0, interference=jam)
+            for i in range(5)
+        ]
+        assert any(r.had_losses for r in results)
+
+    def test_round_airtime_scales_with_slots(self, engine):
+        assert engine.round_airtime_ms(10) > engine.round_airtime_ms(2)
+
+
+class TestObserverView:
+    def test_clean_round_view_is_complete(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        view = build_observer_view(result, observer=kiel.coordinator)
+        assert set(view["reliability"]) == set(kiel.node_ids)
+        assert not view["missing"]
+
+    def test_missing_feedback_is_pessimistic(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        # Forge a result where the coordinator missed one slot.
+        source = result.slots[3].source
+        result.slots[3].flood.received[kiel.coordinator] = False
+        view = build_observer_view(result, observer=kiel.coordinator)
+        if source != kiel.coordinator:
+            assert view["reliability"][source] == 0.0
+            assert source in view["missing"]
+
+    def test_observer_always_included(self, engine, nodes, kiel):
+        result = engine.run_round(nodes, make_schedule(kiel))
+        view = build_observer_view(result, observer=5, expected_nodes=[5])
+        assert 5 in view["reliability"]

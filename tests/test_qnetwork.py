@@ -1,0 +1,117 @@
+"""Tests for the numpy Q-network."""
+
+import numpy as np
+import pytest
+
+from repro.rl.qnetwork import QNetwork
+
+
+class TestConstruction:
+    def test_paper_architecture_parameter_count(self):
+        network = QNetwork((31, 30, 3))
+        # 31*30 + 30 weights+biases for the hidden layer, 30*3 + 3 for output.
+        assert network.num_parameters == 31 * 30 + 30 + 30 * 3 + 3 == 1053
+
+    def test_input_output_sizes(self):
+        network = QNetwork((31, 30, 3))
+        assert network.input_size == 31
+        assert network.output_size == 3
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(ValueError):
+            QNetwork((31,))
+        with pytest.raises(ValueError):
+            QNetwork((31, 0, 3))
+        with pytest.raises(ValueError):
+            QNetwork((31, 30, 3), hidden_activation="tanh")
+
+    def test_seeded_initialization_reproducible(self):
+        a, b = QNetwork(seed=3), QNetwork(seed=3)
+        x = np.zeros(31)
+        assert np.allclose(a(x), b(x))
+
+
+class TestForward:
+    def test_single_and_batch_agree(self):
+        network = QNetwork(seed=0)
+        x = np.random.default_rng(0).uniform(-1, 1, size=(4, 31))
+        batch = network(x)
+        singles = np.stack([network(row) for row in x])
+        assert np.allclose(batch, singles)
+
+    def test_output_shape(self):
+        network = QNetwork(seed=0)
+        assert network(np.zeros(31)).shape == (3,)
+        assert network(np.zeros((5, 31))).shape == (5, 3)
+
+    def test_wrong_input_size_rejected(self):
+        with pytest.raises(ValueError):
+            QNetwork(seed=0)(np.zeros(30))
+
+    def test_predict_action_is_argmax(self):
+        network = QNetwork(seed=0)
+        x = np.random.default_rng(1).uniform(-1, 1, 31)
+        assert network.predict_action(x) == int(np.argmax(network(x)))
+
+
+class TestTraining:
+    def test_training_reduces_loss_on_fixed_targets(self):
+        network = QNetwork((4, 16, 2), seed=0)
+        rng = np.random.default_rng(0)
+        states = rng.uniform(-1, 1, size=(64, 4))
+        targets = np.stack([states[:, 0] + states[:, 1], states[:, 2] - states[:, 3]], axis=1)
+        first = network.train_step(states, targets, learning_rate=1e-2, loss="mse")
+        for _ in range(300):
+            last = network.train_step(states, targets, learning_rate=1e-2, loss="mse")
+        assert last < first * 0.5
+
+    def test_action_masked_training_moves_only_selected_action(self):
+        network = QNetwork((4, 8, 3), seed=1)
+        state = np.ones((1, 4))
+        before = network(state[0]).copy()
+        for _ in range(50):
+            network.train_step(state, np.array([5.0]), actions=np.array([1]), learning_rate=1e-2)
+        after = network(state[0])
+        assert abs(after[1] - 5.0) < abs(before[1] - 5.0)
+
+    def test_sgd_optimizer_supported(self):
+        network = QNetwork((4, 8, 2), seed=0)
+        loss = network.train_step(np.ones((2, 4)), np.zeros((2, 2)), optimizer="sgd")
+        assert loss >= 0.0
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ValueError):
+            QNetwork((4, 8, 2), seed=0).train_step(np.ones((1, 4)), np.zeros((1, 2)), optimizer="rmsprop")
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            QNetwork((4, 8, 2), seed=0).gradients(np.ones((1, 4)), np.zeros((1, 2)), loss="l1")
+
+
+class TestWeightManagement:
+    def test_clone_is_independent(self):
+        network = QNetwork(seed=0)
+        twin = network.clone()
+        x = np.random.default_rng(0).uniform(-1, 1, 31)
+        assert np.allclose(network(x), twin(x))
+        twin.weights[0][0, 0] += 1.0
+        assert not np.allclose(network(x), twin(x))
+
+    def test_copy_from_requires_same_architecture(self):
+        with pytest.raises(ValueError):
+            QNetwork((31, 30, 3)).copy_from(QNetwork((31, 20, 3)))
+
+    def test_set_weights_shape_checked(self):
+        network = QNetwork((4, 8, 2))
+        params = network.get_weights()
+        params["weights"][0] = np.zeros((3, 8))
+        with pytest.raises(ValueError):
+            network.set_weights(params)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        network = QNetwork(seed=0)
+        path = tmp_path / "net.json"
+        network.save(path)
+        loaded = QNetwork.load(path)
+        x = np.random.default_rng(2).uniform(-1, 1, 31)
+        assert np.allclose(network(x), loaded(x))

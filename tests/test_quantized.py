@@ -1,0 +1,76 @@
+"""Tests for the fixed-point quantized network (embedded DQN)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.qnetwork import QNetwork
+from repro.rl.quantized import QuantizedNetwork
+
+
+@pytest.fixture()
+def network():
+    return QNetwork((31, 30, 3), seed=0)
+
+
+class TestQuantization:
+    def test_flash_footprint_matches_paper(self, network):
+        report = QuantizedNetwork(network).report()
+        # The paper reports ~2.1 kB of flash for the 31-30-3 network.
+        assert 2000 <= report.flash_bytes <= 2200
+        assert report.flash_kb == pytest.approx(report.flash_bytes / 1024.0)
+
+    def test_ram_footprint_below_paper_budget(self, network):
+        report = QuantizedNetwork(network).report()
+        # The paper budgets 400 B of RAM for intermediate results.
+        assert report.ram_bytes <= 400
+
+    def test_runtime_estimate_close_to_90ms_on_telosb(self, network):
+        report = QuantizedNetwork(network).report(mcu_mhz=4.0)
+        assert 60.0 <= report.estimated_runtime_ms <= 120.0
+
+    def test_weight_error_bounded_by_scale(self, network):
+        quantized = QuantizedNetwork(network, scale=100)
+        assert quantized._max_weight_error <= 0.5 / 100 + 1e-9
+
+    def test_outputs_close_to_float_network(self, network):
+        quantized = QuantizedNetwork(network)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.uniform(-1, 1, 31)
+            assert np.allclose(quantized(x), network(x), atol=0.1)
+
+    def test_action_agreement_high(self, network):
+        quantized = QuantizedNetwork(network)
+        rng = np.random.default_rng(1)
+        states = rng.uniform(-1, 1, size=(100, 31))
+        assert quantized.agreement_with(network, states) >= 0.9
+
+    def test_batch_forward_shape(self, network):
+        quantized = QuantizedNetwork(network)
+        assert quantized(np.zeros((5, 31))).shape == (5, 3)
+
+    def test_wrong_input_size_rejected(self, network):
+        with pytest.raises(ValueError):
+            QuantizedNetwork(network)(np.zeros(12))
+
+    def test_invalid_scale_rejected(self, network):
+        with pytest.raises(ValueError):
+            QuantizedNetwork(network, scale=0)
+
+    def test_higher_scale_reduces_error(self, network):
+        coarse = QuantizedNetwork(network, scale=10)
+        fine = QuantizedNetwork(network, scale=1000)
+        assert fine._max_weight_error < coarse._max_weight_error
+
+    def test_clipping_of_outlier_weights(self):
+        network = QNetwork((4, 4, 2), seed=0)
+        network.weights[0][0, 0] = 1e6
+        quantized = QuantizedNetwork(network, clip_outliers=True)
+        assert quantized.weights_q[0][0, 0] == 2**15 - 1
+        with pytest.raises(ValueError):
+            QuantizedNetwork(network, clip_outliers=False)
+
+    def test_predict_action_integer(self, network):
+        quantized = QuantizedNetwork(network)
+        action = quantized.predict_action(np.zeros(31))
+        assert action in (0, 1, 2)

@@ -1,0 +1,96 @@
+"""Tests for the radio and energy models."""
+
+import pytest
+
+from repro.net.energy import EnergyModel, RadioOnTracker
+from repro.net.radio import RadioModel, RadioState
+
+
+class TestRadioModel:
+    def test_listen_draws_more_than_off(self):
+        radio = RadioModel()
+        assert radio.power_mw(RadioState.LISTEN) > radio.power_mw(RadioState.OFF)
+
+    def test_energy_scales_with_duration(self):
+        radio = RadioModel()
+        assert radio.energy_mj(RadioState.LISTEN, 20.0) == pytest.approx(
+            2 * radio.energy_mj(RadioState.LISTEN, 10.0)
+        )
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel().energy_mj(RadioState.LISTEN, -1.0)
+
+    def test_radio_on_energy_between_pure_rx_and_tx(self):
+        radio = RadioModel()
+        mixed = radio.radio_on_energy_mj(10.0, tx_fraction=0.5)
+        rx_only = radio.energy_mj(RadioState.LISTEN, 10.0)
+        tx_only = radio.energy_mj(RadioState.TRANSMIT, 10.0)
+        assert min(rx_only, tx_only) <= mixed <= max(rx_only, tx_only)
+
+    def test_invalid_tx_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel().radio_on_energy_mj(10.0, tx_fraction=1.5)
+
+    def test_phase_duration_close_to_airtime(self):
+        radio = RadioModel()
+        phase = radio.phase_duration_ms(30)
+        assert 1.0 < phase < 2.5
+
+    def test_max_slot_is_20ms(self):
+        assert RadioModel().max_slot_ms == pytest.approx(20.0)
+
+
+class TestRadioOnTracker:
+    def test_recent_average_over_window(self):
+        tracker = RadioOnTracker(window=3)
+        for value in (2.0, 4.0, 6.0, 8.0):
+            tracker.record_slot(value)
+        assert tracker.recent_average_ms == pytest.approx((4.0 + 6.0 + 8.0) / 3)
+
+    def test_lifetime_average_counts_everything(self):
+        tracker = RadioOnTracker(window=2)
+        for value in (2.0, 4.0, 6.0):
+            tracker.record_slot(value)
+        assert tracker.lifetime_average_ms == pytest.approx(4.0)
+        assert tracker.slot_count == 3
+
+    def test_empty_tracker_averages_are_zero(self):
+        tracker = RadioOnTracker()
+        assert tracker.recent_average_ms == 0.0
+        assert tracker.lifetime_average_ms == 0.0
+
+    def test_reset_recent_preserves_totals(self):
+        tracker = RadioOnTracker()
+        tracker.record_slot(5.0)
+        tracker.reset_recent()
+        assert tracker.recent_average_ms == 0.0
+        assert tracker.total_ms == pytest.approx(5.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            RadioOnTracker().record_slot(-1.0)
+
+
+class TestEnergyModel:
+    def test_network_energy_sums_nodes(self):
+        model = EnergyModel()
+        trackers = {i: RadioOnTracker() for i in range(3)}
+        for tracker in trackers.values():
+            tracker.record_slot(10.0)
+        total = model.network_energy_j(trackers)
+        single = model.node_energy_j(trackers[0])
+        assert total == pytest.approx(3 * single)
+
+    def test_average_radio_on_over_slots(self):
+        model = EnergyModel()
+        trackers = {0: RadioOnTracker(), 1: RadioOnTracker()}
+        trackers[0].record_slot(10.0)
+        trackers[1].record_slot(20.0)
+        assert model.network_average_radio_on_ms(trackers) == pytest.approx(15.0)
+
+    def test_empty_network_average_is_zero(self):
+        assert EnergyModel().network_average_radio_on_ms({}) == 0.0
+
+    def test_slot_energy_positive(self):
+        assert EnergyModel().slot_energy_mj(8.0) > 0.0

@@ -1,0 +1,137 @@
+"""Tests for the replay buffer and the Exp3 bandit."""
+
+import numpy as np
+import pytest
+
+from repro.rl.exp3 import Exp3
+from repro.rl.replay_buffer import ReplayBuffer, Transition
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buffer = ReplayBuffer(capacity=10, seed=0)
+        buffer.push(np.zeros(3), 1, 0.5, np.ones(3), False)
+        assert len(buffer) == 1
+
+    def test_capacity_evicts_oldest(self):
+        buffer = ReplayBuffer(capacity=3, seed=0)
+        for i in range(5):
+            buffer.push(np.full(2, i), 0, float(i), np.full(2, i + 1), False)
+        assert len(buffer) == 3
+        assert buffer.is_full
+
+    def test_sample_shapes(self):
+        buffer = ReplayBuffer(capacity=100, seed=0)
+        for i in range(20):
+            buffer.push(np.full(4, i), i % 3, float(i), np.full(4, i + 1), i % 2 == 0)
+        states, actions, rewards, next_states, dones = buffer.sample(8)
+        assert states.shape == (8, 4)
+        assert actions.shape == (8,)
+        assert rewards.shape == (8,)
+        assert next_states.shape == (8, 4)
+        assert dones.dtype == bool
+
+    def test_sample_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(seed=0).sample(4)
+
+    def test_invalid_batch_size_rejected(self):
+        buffer = ReplayBuffer(seed=0)
+        buffer.push(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        with pytest.raises(ValueError):
+            buffer.sample(0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_clear(self):
+        buffer = ReplayBuffer(seed=0)
+        buffer.push(np.zeros(2), 0, 0.0, np.zeros(2), False)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_transition_dataclass(self):
+        transition = Transition(np.zeros(2), 1, 0.5, np.ones(2), True)
+        assert transition.action == 1
+        assert transition.done
+
+
+class TestExp3:
+    def test_initial_probabilities_uniform(self):
+        bandit = Exp3(num_arms=2, gamma=0.2, seed=0)
+        assert np.allclose(bandit.probabilities(), [0.5, 0.5])
+
+    def test_probabilities_sum_to_one(self):
+        bandit = Exp3(num_arms=4, gamma=0.3, seed=0)
+        for _ in range(20):
+            arm = bandit.select_arm()
+            bandit.update(arm, 0.7)
+        assert bandit.probabilities().sum() == pytest.approx(1.0)
+
+    def test_rewarded_arm_gains_probability(self):
+        bandit = Exp3(num_arms=2, gamma=0.2, seed=0)
+        for _ in range(30):
+            bandit.update(0, 1.0)
+        assert bandit.probabilities()[0] > 0.8
+        assert bandit.best_arm() == 0
+
+    def test_exploration_floor_preserved(self):
+        bandit = Exp3(num_arms=2, gamma=0.2, seed=0)
+        for _ in range(200):
+            bandit.update(0, 1.0)
+        # Even a dominant arm leaves gamma/K probability to the other one.
+        assert bandit.probabilities()[1] >= 0.1 - 1e-9
+
+    def test_reset_arm_restores_initial_weight(self):
+        bandit = Exp3(num_arms=2, gamma=0.3, seed=0)
+        for _ in range(10):
+            bandit.update(1, 1.0)
+        bandit.reset_arm(1)
+        assert bandit.weights[1] == pytest.approx(1.0)
+
+    def test_full_reset(self):
+        bandit = Exp3(num_arms=2, gamma=0.3, seed=0)
+        bandit.update(0, 1.0)
+        bandit.reset()
+        assert np.allclose(bandit.weights, [1.0, 1.0])
+
+    def test_weights_clipped_at_max(self):
+        bandit = Exp3(num_arms=2, gamma=1.0, max_weight=100.0, seed=0)
+        for _ in range(500):
+            bandit.update(0, 1.0)
+        assert bandit.weights[0] <= 100.0
+
+    def test_adapts_to_adversarial_switch(self):
+        bandit = Exp3(num_arms=2, gamma=0.3, seed=1)
+        for _ in range(40):
+            bandit.update(0, 1.0)
+            bandit.update(1, 0.0)
+        assert bandit.best_arm() == 0
+        for _ in range(120):
+            bandit.update(0, 0.0)
+            bandit.update(1, 1.0)
+        assert bandit.best_arm() == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Exp3(num_arms=1)
+        with pytest.raises(ValueError):
+            Exp3(gamma=0.0)
+        with pytest.raises(ValueError):
+            Exp3(initial_weights=(1.0,))
+        with pytest.raises(ValueError):
+            Exp3(initial_weights=(1.0, 0.0))
+
+    def test_invalid_updates_rejected(self):
+        bandit = Exp3(seed=0)
+        with pytest.raises(ValueError):
+            bandit.update(5, 1.0)
+        with pytest.raises(ValueError):
+            bandit.update(0, 2.0)
+
+    def test_selection_counts_draws(self):
+        bandit = Exp3(seed=0)
+        for _ in range(5):
+            bandit.select_arm()
+        assert bandit.total_draws == 5

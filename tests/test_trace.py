@@ -1,0 +1,80 @@
+"""Tests for trace records and trace sets."""
+
+import pytest
+
+from repro.net.trace import TraceRecord, TraceSet
+
+
+def make_record(round_index=0, n_tx=3, lossy=False):
+    return TraceRecord(
+        round_index=round_index,
+        n_tx=n_tx,
+        reliabilities={0: 1.0, 1: 0.8 if lossy else 1.0, 2: 0.5 if lossy else 1.0},
+        radio_on_ms={0: 8.0, 1: 10.0, 2: 12.0},
+        interference_ratio=0.3 if lossy else 0.0,
+        had_losses=lossy,
+    )
+
+
+class TestTraceRecord:
+    def test_worst_nodes_sorted_by_reliability(self):
+        record = make_record(lossy=True)
+        assert record.worst_nodes(2) == [2, 1]
+
+    def test_worst_nodes_requires_positive_k(self):
+        with pytest.raises(ValueError):
+            make_record().worst_nodes(0)
+
+    def test_worst_nodes_ties_broken_by_id(self):
+        record = make_record()
+        assert record.worst_nodes(3) == [0, 1, 2]
+
+
+class TestTraceSet:
+    def test_append_starts_first_episode(self):
+        trace = TraceSet()
+        trace.append(make_record())
+        assert trace.episode_starts == [0]
+        assert len(trace) == 1
+
+    def test_episodes_split_correctly(self):
+        trace = TraceSet()
+        trace.start_episode()
+        trace.append(make_record(0))
+        trace.append(make_record(1))
+        trace.start_episode()
+        trace.append(make_record(2))
+        episodes = trace.episodes()
+        assert len(episodes) == 2
+        assert len(episodes[0]) == 2
+        assert len(episodes[1]) == 1
+
+    def test_iteration_and_indexing(self):
+        trace = TraceSet()
+        trace.append(make_record(0))
+        trace.append(make_record(1))
+        assert trace[1].round_index == 1
+        assert [r.round_index for r in trace] == [0, 1]
+
+    def test_dict_roundtrip(self):
+        trace = TraceSet(metadata={"topology": "test"})
+        trace.start_episode()
+        trace.append(make_record(0, lossy=True))
+        trace.append(make_record(1))
+        rebuilt = TraceSet.from_dict(trace.to_dict())
+        assert len(rebuilt) == 2
+        assert rebuilt.metadata["topology"] == "test"
+        assert rebuilt[0].had_losses
+        assert rebuilt[0].reliabilities == trace[0].reliabilities
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = TraceSet()
+        trace.append(make_record(0))
+        path = tmp_path / "traces" / "t.json"
+        trace.save(path)
+        loaded = TraceSet.load(path)
+        assert len(loaded) == 1
+        assert loaded[0].n_tx == 3
+
+    def test_empty_episodes(self):
+        assert TraceSet().episodes() == []

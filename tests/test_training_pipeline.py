@@ -1,0 +1,86 @@
+"""Tests for the offline training pipeline and pretrained-artifact loading."""
+
+import pytest
+
+from repro.experiments.training import (
+    PRETRAINED_FILENAME,
+    TrainingPipeline,
+    TrainingProfile,
+    default_data_dir,
+    load_pretrained_agent,
+)
+from repro.net.topology import grid_topology
+from repro.rl.features import FeatureConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_pipeline(tmp_path_factory):
+    """A very small pipeline writing its artifacts into a temp directory."""
+    return TrainingPipeline(
+        topology=grid_topology(rows=2, cols=3, spacing_m=6.0, comm_range_m=9.0, name="tiny"),
+        feature_config=FeatureConfig(num_input_nodes=4, history_size=1, n_max=3),
+        profile=TrainingProfile("test", trace_repetitions=1, training_iterations=300, anneal_steps=150),
+        episodes=(((2, 0.0), (2, 0.3)),),
+        data_dir=tmp_path_factory.mktemp("artifacts"),
+        seed=0,
+    )
+
+
+class TestTrainingProfiles:
+    def test_paper_profile_matches_section_iv(self):
+        profile = TrainingProfile.paper()
+        assert profile.training_iterations == 200_000
+        assert profile.anneal_steps == 100_000
+
+    def test_profiles_ordered_by_effort(self):
+        assert (
+            TrainingProfile.fast().training_iterations
+            < TrainingProfile.standard().training_iterations
+            < TrainingProfile.paper().training_iterations
+        )
+
+
+class TestTrainingPipeline:
+    def test_trace_collection_and_caching(self, tiny_pipeline):
+        trace = tiny_pipeline.collect_traces()
+        assert len(trace) == 4 * 4  # 4 rounds x (n_max + 1) parameters
+        assert tiny_pipeline.trace_path().exists()
+        # Second call loads from cache and returns the same content.
+        again = tiny_pipeline.collect_traces()
+        assert len(again) == len(trace)
+
+    def test_train_produces_matching_agent(self, tiny_pipeline):
+        agent, trace = tiny_pipeline.train()
+        assert agent.config.state_size == tiny_pipeline.feature_config.input_size
+        assert tiny_pipeline.model_path().exists()
+        assert len(trace) > 0
+
+    def test_cached_model_reloaded(self, tiny_pipeline):
+        first, _ = tiny_pipeline.train()
+        second, _ = tiny_pipeline.train()
+        import numpy as np
+
+        x = np.zeros(tiny_pipeline.feature_config.input_size)
+        assert np.allclose(first.online(x), second.online(x))
+
+    def test_environment_matches_feature_config(self, tiny_pipeline):
+        environment = tiny_pipeline.build_environment()
+        assert environment.state_size == tiny_pipeline.feature_config.input_size
+
+
+class TestPretrainedArtifact:
+    def test_shipped_pretrained_network_exists(self):
+        assert (default_data_dir() / PRETRAINED_FILENAME).exists()
+
+    def test_load_pretrained_agent_paper_config(self):
+        agent = load_pretrained_agent(allow_training=False)
+        assert agent.config.state_size == 31
+        assert agent.online.layer_sizes == (31, 30, 3)
+
+    def test_missing_artifact_raises_when_training_disallowed(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pretrained_agent(
+                feature_config=FeatureConfig(num_input_nodes=7),
+                data_dir=tmp_path,
+                allow_training=False,
+            )
