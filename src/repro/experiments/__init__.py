@@ -17,13 +17,29 @@ One module per element of the paper's evaluation (§V):
 * :mod:`repro.experiments.forwarder` — Fig. 6 (forwarder selection).
 * :mod:`repro.experiments.dcube` — Fig. 7 (48-node D-Cube comparison
   of LWB, Dimmer and Crystal).
+* :mod:`repro.experiments.runner` — the parallel experiment runner
+  fanning scenario x seed grids across worker processes, with
+  deterministic seeding and an on-disk result cache.
 * :mod:`repro.experiments.reporting` — plain-text table/series printers
   used by the benchmark harness.
 """
 
-from repro.experiments.metrics import ExperimentMetrics, summarize_rounds
+from repro.experiments.metrics import (
+    ExperimentMetrics,
+    aggregate_experiment_metrics,
+    summarize_rounds,
+)
+from repro.experiments.runner import (
+    ParallelRunner,
+    RunnerError,
+    ScenarioTask,
+    register_experiment,
+    stable_seed,
+)
 from repro.experiments.scenarios import (
     DynamicInterferenceScenario,
+    MobileJammerScenario,
+    NodeChurnScenario,
     dcube_wifi_interference,
     jamming_interference,
     paper_dynamic_scenario,
@@ -32,8 +48,16 @@ from repro.experiments.training import TrainingPipeline, TrainingProfile, load_p
 
 __all__ = [
     "ExperimentMetrics",
+    "aggregate_experiment_metrics",
     "summarize_rounds",
+    "ParallelRunner",
+    "RunnerError",
+    "ScenarioTask",
+    "register_experiment",
+    "stable_seed",
     "DynamicInterferenceScenario",
+    "MobileJammerScenario",
+    "NodeChurnScenario",
     "dcube_wifi_interference",
     "jamming_interference",
     "paper_dynamic_scenario",

@@ -242,6 +242,24 @@ def _run_crystal(
     )
 
 
+def run_single_dcube_point(
+    protocol: str,
+    level: int,
+    network: Optional[Union[QNetwork, QuantizedNetwork]],
+    topology: Topology,
+    num_rounds: int = 200,
+    num_sources: int = 5,
+    max_retries: int = 5,
+    seed: int = 0,
+) -> DCubeResult:
+    """Run one (protocol, interference-level) grid point of Fig. 7."""
+    if protocol == "crystal":
+        return _run_crystal(level, topology, num_rounds, num_sources, seed)
+    return _run_bus_protocol(
+        protocol, level, network, topology, num_rounds, num_sources, max_retries, seed
+    )
+
+
 def run_dcube_comparison(
     network: Union[QNetwork, QuantizedNetwork],
     levels: Sequence[int] = DCUBE_LEVELS,
@@ -274,10 +292,8 @@ def run_dcube_comparison(
     comparison = DCubeComparison()
     for level in levels:
         for protocol in protocols:
-            if protocol == "crystal":
-                result = _run_crystal(level, topology, num_rounds, num_sources, seed)
-            else:
-                result = _run_bus_protocol(
+            comparison.results.append(
+                run_single_dcube_point(
                     protocol,
                     level,
                     network,
@@ -287,5 +303,64 @@ def run_dcube_comparison(
                     max_retries,
                     seed,
                 )
-            comparison.results.append(result)
+            )
+    return comparison
+
+
+def run_dcube_comparison_parallel(
+    runner: "ParallelRunner",
+    network: Union[QNetwork, QuantizedNetwork],
+    levels: Sequence[int] = DCUBE_LEVELS,
+    protocols: Sequence[str] = DCUBE_PROTOCOLS,
+    topology_spec: Optional[Dict] = None,
+    num_rounds: int = 200,
+    num_sources: int = 5,
+    max_retries: int = 5,
+    seed: int = 0,
+) -> DCubeComparison:
+    """Run the Fig. 7 grid through a :class:`ParallelRunner`.
+
+    One task per (level, protocol) grid point; identical results to the
+    serial :func:`run_dcube_comparison` for the same ``seed``.
+    """
+    from repro.experiments.runner import ScenarioTask, network_payload
+
+    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "dcube"}
+    payload = network_payload(network) if network is not None else None
+    tasks = []
+    for level in levels:
+        for protocol in protocols:
+            params = {
+                "protocol": protocol,
+                "level": level,
+                "topology": topology_spec,
+                "num_rounds": num_rounds,
+                "num_sources": num_sources,
+                "max_retries": max_retries,
+            }
+            if protocol == "dimmer":
+                if payload is None:
+                    raise ValueError("the Dimmer runs need a trained policy network")
+                params["network"] = payload
+            tasks.append(
+                ScenarioTask(
+                    experiment="dcube_point",
+                    params=params,
+                    seed=seed,
+                    label=f"dcube:{protocol}@L{level}",
+                )
+            )
+    comparison = DCubeComparison()
+    for entry in runner.run(tasks):
+        comparison.results.append(
+            DCubeResult(
+                protocol=entry["protocol"],
+                level=int(entry["level"]),
+                reliability=entry["reliability"],
+                energy_j=entry["energy_j"],
+                average_radio_on_ms=entry["average_radio_on_ms"],
+                packets_generated=int(entry["packets_generated"]),
+                packets_delivered=int(entry["packets_delivered"]),
+            )
+        )
     return comparison

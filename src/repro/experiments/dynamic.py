@@ -177,3 +177,68 @@ def run_dynamic_comparison(
         seed=seed,
     )
     return DynamicComparison(dimmer=dimmer, pid=pid)
+
+
+def _dynamic_result_from_task(entry: dict) -> DynamicRunResult:
+    """Rebuild a :class:`DynamicRunResult` from a worker's JSON result."""
+    protocol = entry["protocol"]
+    series = {
+        "reliability": TimeSeries(label=f"{protocol}-reliability"),
+        "n_tx": TimeSeries(label=f"{protocol}-ntx"),
+        "radio_on_ms": TimeSeries(label=f"{protocol}-radio-on"),
+        "interference_ratio": TimeSeries(label="interference-ratio"),
+    }
+    for name, line in series.items():
+        for time_s, value in zip(entry["times_s"], entry[name]):
+            line.append(time_s, value)
+    return DynamicRunResult(
+        protocol=protocol,
+        reliability=series["reliability"],
+        n_tx=series["n_tx"],
+        radio_on_ms=series["radio_on_ms"],
+        interference_ratio=series["interference_ratio"],
+        metrics=ExperimentMetrics.from_dict(entry["metrics"]),
+    )
+
+
+def run_dynamic_comparison_parallel(
+    runner: "ParallelRunner",
+    network: Union[QNetwork, QuantizedNetwork],
+    topology_spec: Optional[dict] = None,
+    time_scale: float = 1.0,
+    round_period_s: float = 4.0,
+    seed: int = 0,
+) -> DynamicComparison:
+    """Run the Fig. 4c vs 4d comparison through a :class:`ParallelRunner`.
+
+    The Dimmer and PID timelines execute as two independent worker
+    tasks; for a given ``seed`` the rebuilt results match the serial
+    :func:`run_dynamic_comparison`.
+    """
+    from repro.experiments.runner import ScenarioTask, network_payload
+
+    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "kiel"}
+    base = {
+        "topology": topology_spec,
+        "time_scale": time_scale,
+        "round_period_s": round_period_s,
+    }
+    tasks = [
+        ScenarioTask(
+            experiment="dynamic_run",
+            params={"protocol": "dimmer", "network": network_payload(network), **base},
+            seed=seed,
+            label="dynamic:dimmer",
+        ),
+        ScenarioTask(
+            experiment="dynamic_run",
+            params={"protocol": "pid", **base},
+            seed=seed,
+            label="dynamic:pid",
+        ),
+    ]
+    dimmer_entry, pid_entry = runner.run(tasks)
+    return DynamicComparison(
+        dimmer=_dynamic_result_from_task(dimmer_entry),
+        pid=_dynamic_result_from_task(pid_entry),
+    )

@@ -17,7 +17,11 @@ from repro.baselines.pid import PIDProtocol
 from repro.baselines.static_lwb import StaticLWBProtocol
 from repro.core.config import DimmerConfig
 from repro.core.protocol import DimmerProtocol
-from repro.experiments.metrics import ExperimentMetrics, summarize_protocol_history
+from repro.experiments.metrics import (
+    ExperimentMetrics,
+    aggregate_experiment_metrics,
+    summarize_protocol_history,
+)
 from repro.experiments.scenarios import jamming_interference
 from repro.net.simulator import NetworkSimulator, SimulatorConfig
 from repro.net.topology import Topology, kiel_testbed
@@ -72,7 +76,7 @@ class SweepResult:
         raise KeyError(f"no sweep point for {protocol!r} at ratio {ratio}")
 
 
-def _run_single(
+def run_single_sweep_point(
     protocol: str,
     ratio: float,
     network: Optional[Union[QNetwork, QuantizedNetwork]],
@@ -80,10 +84,14 @@ def _run_single(
     rounds: int,
     round_period_s: float,
     seed: int,
+    engine: str = "vectorized",
 ) -> ExperimentMetrics:
+    """Run one protocol at one interference ratio (one Fig. 5 grid point)."""
     simulator = NetworkSimulator(
         topology,
-        SimulatorConfig(round_period_s=round_period_s, channel_hopping=False, seed=seed),
+        SimulatorConfig(
+            round_period_s=round_period_s, channel_hopping=False, seed=seed, engine=engine
+        ),
     )
     simulator.set_interference(jamming_interference(topology, ratio))
     if protocol == "dimmer":
@@ -133,6 +141,8 @@ def run_interference_sweep(
         Independent runs per (protocol, ratio) pair, averaged like the
         paper's three 30-minute runs.
     """
+    from repro.experiments.runner import stable_seed
+
     topology = topology if topology is not None else kiel_testbed()
     result = SweepResult()
     for protocol in protocols:
@@ -140,33 +150,92 @@ def run_interference_sweep(
             per_run: List[ExperimentMetrics] = []
             for run_index in range(runs):
                 per_run.append(
-                    _run_single(
+                    run_single_sweep_point(
                         protocol,
                         ratio,
                         network,
                         topology,
                         rounds_per_run,
                         round_period_s,
-                        seed=seed + 97 * run_index + hash((protocol, round(ratio * 100))) % 1000,
+                        # Mixed with a content-stable hash (not the salted
+                        # built-in) so results reproduce across processes.
+                        seed=stable_seed(seed, protocol, round(ratio * 100), run_index),
                     )
                 )
-            reliability = float(np.mean([m.reliability for m in per_run]))
-            reliability_std = float(np.std([m.reliability for m in per_run]))
-            radio_on = float(np.mean([m.radio_on_ms for m in per_run]))
-            radio_on_std = float(np.std([m.radio_on_ms for m in per_run]))
-            energy = float(np.mean([m.energy_j for m in per_run]))
             result.points.append(
                 SweepPoint(
                     protocol=protocol,
                     interference_ratio=ratio,
-                    metrics=ExperimentMetrics(
-                        reliability=reliability,
-                        reliability_std=reliability_std,
-                        radio_on_ms=radio_on,
-                        radio_on_std_ms=radio_on_std,
-                        energy_j=energy,
-                        rounds=sum(m.rounds for m in per_run),
-                    ),
+                    metrics=aggregate_experiment_metrics(per_run),
+                )
+            )
+    return result
+
+
+def run_interference_sweep_parallel(
+    runner: "ParallelRunner",
+    network: Optional[Union[QNetwork, QuantizedNetwork]] = None,
+    ratios: Sequence[float] = PAPER_INTERFERENCE_RATIOS,
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    topology_spec: Optional[Dict] = None,
+    rounds_per_run: int = 75,
+    runs: int = 3,
+    round_period_s: float = 4.0,
+    engine: str = "vectorized",
+    seed: int = 0,
+) -> SweepResult:
+    """Run the Fig. 5 sweep through a :class:`ParallelRunner`.
+
+    Every (protocol, ratio, run) triple becomes one cached, deterministic
+    task; results are aggregated exactly like the serial
+    :func:`run_interference_sweep`.  ``topology_spec`` is a JSON-able
+    spec understood by :func:`repro.experiments.runner.build_topology`
+    (default: the 18-node testbed).
+    """
+    from repro.experiments.runner import ScenarioTask, network_payload, stable_seed
+
+    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "kiel"}
+    payload = network_payload(network) if network is not None else None
+
+    tasks = []
+    for protocol in protocols:
+        for ratio in ratios:
+            for run_index in range(runs):
+                params = {
+                    "protocol": protocol,
+                    "ratio": ratio,
+                    "topology": topology_spec,
+                    "rounds": rounds_per_run,
+                    "round_period_s": round_period_s,
+                    "engine": engine,
+                }
+                if protocol == "dimmer":
+                    if payload is None:
+                        raise ValueError("the Dimmer runs need a trained policy network")
+                    params["network"] = payload
+                tasks.append(
+                    ScenarioTask(
+                        experiment="sweep_point",
+                        params=params,
+                        seed=stable_seed(seed, protocol, round(ratio * 100), run_index),
+                        label=f"sweep:{protocol}@{ratio:.2f}#{run_index}",
+                    )
+                )
+    flat = runner.run(tasks)
+
+    result = SweepResult()
+    cursor = 0
+    for protocol in protocols:
+        for ratio in ratios:
+            per_run = [
+                ExperimentMetrics.from_dict(entry) for entry in flat[cursor: cursor + runs]
+            ]
+            cursor += runs
+            result.points.append(
+                SweepPoint(
+                    protocol=protocol,
+                    interference_ratio=ratio,
+                    metrics=aggregate_experiment_metrics(per_run),
                 )
             )
     return result

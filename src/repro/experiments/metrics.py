@@ -48,6 +48,18 @@ class ExperimentMetrics:
             "rounds": float(self.rounds),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ExperimentMetrics":
+        """Inverse of :meth:`as_dict` (used to rebuild worker results)."""
+        return cls(
+            reliability=float(data["reliability"]),
+            reliability_std=float(data["reliability_std"]),
+            radio_on_ms=float(data["radio_on_ms"]),
+            radio_on_std_ms=float(data["radio_on_std_ms"]),
+            energy_j=float(data.get("energy_j", 0.0)),
+            rounds=int(data.get("rounds", 0)),
+        )
+
 
 def summarize_rounds(
     reliabilities: Sequence[float],
@@ -68,6 +80,24 @@ def summarize_rounds(
         radio_on_std_ms=float(radio.std()),
         energy_j=float(energy_j),
         rounds=len(reliabilities),
+    )
+
+
+def aggregate_experiment_metrics(per_run: Sequence[ExperimentMetrics]) -> ExperimentMetrics:
+    """Average several independent runs of the same grid point.
+
+    Means and standard deviations are taken across runs (the paper's
+    error bars over repeated 30-minute runs); ``rounds`` accumulates.
+    """
+    if not per_run:
+        return ExperimentMetrics(1.0, 0.0, 0.0, 0.0, 0.0, 0)
+    return ExperimentMetrics(
+        reliability=float(np.mean([m.reliability for m in per_run])),
+        reliability_std=float(np.std([m.reliability for m in per_run])),
+        radio_on_ms=float(np.mean([m.radio_on_ms for m in per_run])),
+        radio_on_std_ms=float(np.std([m.radio_on_ms for m in per_run])),
+        energy_j=float(np.mean([m.energy_j for m in per_run])),
+        rounds=sum(m.rounds for m in per_run),
     )
 
 

@@ -1,0 +1,569 @@
+"""Parallel experiment runner.
+
+Every harness in this repository ultimately evaluates a grid of
+independent simulation runs — protocol x interference-ratio x seed for
+the Fig. 5 sweep, protocol x WiFi-level for the D-Cube comparison,
+scenario x seed for training-data collection.  Each grid point is a
+self-contained simulation, so the grid parallelizes embarrassingly.
+
+:class:`ParallelRunner` fans :class:`ScenarioTask` grids across worker
+processes (``concurrent.futures``), with
+
+* **deterministic seeding** — a task's outcome depends only on its
+  content (experiment name, parameters, seed), never on worker count or
+  scheduling order, so parallel results are bit-identical to serial
+  ones;
+* **an on-disk result cache** keyed by a content hash of the task, so
+  re-running a sweep after editing one grid point only recomputes the
+  changed tasks; and
+* **failure propagation** — a crashing worker surfaces as a
+  :class:`RunnerError` naming the offending task instead of a silent
+  hole in the grid.
+
+Experiments are registered by name (the registry maps the name to a
+plain function executed inside the worker); tasks reference them by
+name, keeping tasks picklable and cache keys stable.  The built-in
+experiments cover the paper's harnesses (interference sweep points,
+dynamic-interference runs, D-Cube grid points) plus the mobile-jammer
+and node-churn scenario families.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Registry of experiment functions runnable by :class:`ParallelRunner`.
+#: Each entry maps a name to ``fn(seed=..., **params) -> dict`` where the
+#: returned dict must be JSON-serializable (it is written to the cache).
+EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {}
+
+
+def register_experiment(name: str) -> Callable[[Callable], Callable]:
+    """Decorator registering an experiment function under ``name``."""
+
+    def decorator(fn: Callable[..., Dict[str, Any]]) -> Callable[..., Dict[str, Any]]:
+        EXPERIMENTS[name] = fn
+        return fn
+
+    return decorator
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize a parameter value into a JSON-stable representation."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_canonical(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def stable_seed(*parts: Any) -> int:
+    """Deterministic 31-bit seed derived from arbitrary (JSON-able) parts.
+
+    Unlike built-in ``hash()``, the result does not depend on
+    ``PYTHONHASHSEED``, the process, or the host — which is what makes
+    parallel grids reproducible across worker counts and runs.
+    """
+    payload = json.dumps(_canonical(list(parts)), sort_keys=True).encode()
+    digest = hashlib.sha1(payload).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31)
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One grid point: an experiment name, its parameters and a seed.
+
+    ``params`` must be picklable and JSON-canonicalizable (plain dicts,
+    lists, numbers, strings); the cache key hashes them together with
+    the experiment name and the seed.
+    """
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    label: Optional[str] = None
+
+    def key(self) -> str:
+        """Content hash identifying this task (cache key)."""
+        payload = {
+            "experiment": self.experiment,
+            "params": _canonical(dict(self.params)),
+            "seed": self.seed,
+        }
+        return hashlib.sha1(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Human-readable task name for error messages and logs."""
+        return self.label or f"{self.experiment}[{self.key()[:10]}]"
+
+
+class RunnerError(RuntimeError):
+    """A worker failed while executing a task."""
+
+    def __init__(self, task: ScenarioTask, cause: BaseException) -> None:
+        super().__init__(f"task {task.describe()} failed: {cause!r}")
+        self.task = task
+        self.cause = cause
+
+
+def _execute_task(task: ScenarioTask) -> Dict[str, Any]:
+    """Worker entry point: resolve the experiment and run it."""
+    try:
+        fn = EXPERIMENTS[task.experiment]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {task.experiment!r}; "
+            f"registered: {sorted(EXPERIMENTS)}"
+        ) from None
+    result = fn(seed=task.seed, **dict(task.params))
+    if not isinstance(result, dict):
+        raise TypeError(
+            f"experiment {task.experiment!r} must return a dict, "
+            f"got {type(result).__name__}"
+        )
+    return result
+
+
+def _worker_context():
+    """Multiprocessing context for the worker pool.
+
+    Experiments registered at runtime (outside this module) only exist
+    in forked children, so prefer ``fork`` where the platform offers it
+    — this also keeps behaviour stable across Python versions that
+    change the default start method.  Platforms without ``fork``
+    (Windows) fall back to the default; there, runtime-registered
+    experiments must live in an importable module.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+@dataclass
+class RunnerStats:
+    """Cache and execution accounting of one :meth:`ParallelRunner.run` call."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+
+
+class ParallelRunner:
+    """Fans scenario x seed grids across worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (``None`` = ``os.cpu_count()``).  ``0`` or
+        ``1`` executes inline in the calling process, which is handy for
+        debugging and avoids process startup for tiny grids.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables
+        caching.  Entries are JSON files named by the task content hash,
+        so any parameter change invalidates exactly the affected tasks.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Path] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        self.max_workers = max_workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, task: ScenarioTask) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{task.key()}.json"
+
+    def _cache_load(self, task: ScenarioTask) -> Optional[Dict[str, Any]]:
+        path = self._cache_path(task)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # A torn or corrupted entry is a miss: recompute and overwrite.
+            return None
+
+    def _cache_store(self, task: ScenarioTask, result: Dict[str, Any]) -> None:
+        path = self._cache_path(task)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent runners never read a torn file.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[ScenarioTask]) -> List[Dict[str, Any]]:
+        """Execute every task and return their results in task order.
+
+        Cached results are returned without re-execution; the remaining
+        tasks run on the worker pool.  The first worker failure aborts
+        the run by raising :class:`RunnerError`.
+        """
+        tasks = list(tasks)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            cached = self._cache_load(task)
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append(index)
+                self.stats.cache_misses += 1
+
+        if pending:
+            inline = self.max_workers is not None and self.max_workers <= 1
+            if inline:
+                for index in pending:
+                    try:
+                        results[index] = _execute_task(tasks[index])
+                    except BaseException as exc:
+                        raise RunnerError(tasks[index], exc) from exc
+                    self._cache_store(tasks[index], results[index])
+                    self.stats.executed += 1
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=_worker_context()
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute_task, tasks[index]): index for index in pending
+                    }
+                    wait(futures, return_when=FIRST_EXCEPTION)
+                    for future, index in futures.items():
+                        error = future.exception() if future.done() else None
+                        if error is not None:
+                            for other in futures:
+                                other.cancel()
+                            raise RunnerError(tasks[index], error) from error
+                    for future, index in futures.items():
+                        results[index] = future.result()
+                        self._cache_store(tasks[index], results[index])
+                        self.stats.executed += 1
+        # Every slot must be filled: a hole here would silently shift the
+        # positional regrouping done by the grid-level callers.
+        missing = [tasks[i].describe() for i, r in enumerate(results) if r is None]
+        if missing:
+            raise RuntimeError(f"tasks produced no result: {missing}")
+        return list(results)  # type: ignore[arg-type]
+
+    def run_grid(
+        self,
+        experiment: str,
+        grid: Sequence[Mapping[str, Any]],
+        seeds: Sequence[int] = (0,),
+        base_params: Optional[Mapping[str, Any]] = None,
+        base_seed: int = 0,
+    ) -> List[List[Dict[str, Any]]]:
+        """Run ``experiment`` over a scenario x seed grid.
+
+        Each entry of ``grid`` is merged over ``base_params``; every
+        resulting scenario runs once per entry of ``seeds`` with a
+        deterministic per-task seed mixed from ``base_seed``, the
+        scenario parameters and the seed index.  Returns one list of
+        per-seed results per scenario, in grid order.
+        """
+        tasks: List[ScenarioTask] = []
+        for scenario in grid:
+            params = dict(base_params or {})
+            params.update(scenario)
+            for seed in seeds:
+                tasks.append(
+                    ScenarioTask(
+                        experiment=experiment,
+                        params=params,
+                        seed=stable_seed(base_seed, experiment, params, seed),
+                    )
+                )
+        flat = self.run(tasks)
+        per_scenario: List[List[Dict[str, Any]]] = []
+        cursor = 0
+        for _ in grid:
+            per_scenario.append(flat[cursor: cursor + len(seeds)])
+            cursor += len(seeds)
+        return per_scenario
+
+
+# ----------------------------------------------------------------------
+# Shared worker-side helpers
+# ----------------------------------------------------------------------
+def build_topology(spec: Mapping[str, Any]):
+    """Construct a topology from a JSON-able spec (worker side).
+
+    ``spec["kind"]`` selects the generator: ``"kiel"``, ``"dcube"``,
+    ``"grid"`` or ``"random"``; the remaining keys are forwarded as
+    keyword arguments.
+    """
+    from repro.net.topology import dcube_testbed, grid_topology, kiel_testbed, random_topology
+
+    kind_map = {
+        "kiel": kiel_testbed,
+        "dcube": dcube_testbed,
+        "grid": grid_topology,
+        "random": random_topology,
+    }
+    spec = dict(spec)
+    kind = spec.pop("kind")
+    if kind not in kind_map:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    return kind_map[kind](**spec)
+
+
+def network_payload(network) -> Dict[str, Any]:
+    """Serialize a policy network into the JSON payload tasks can carry.
+
+    Accepts a float ``QNetwork`` or a ``QuantizedNetwork``; the latter
+    is de-scaled back to floats for transport and records its scale so
+    the worker rebuilds an identical ``QuantizedNetwork`` (lossless:
+    re-quantizing with the same scale reproduces the integer weights).
+    """
+    from repro.rl.quantized import QuantizedNetwork
+
+    if isinstance(network, QuantizedNetwork):
+        return {
+            "kind": "quantized",
+            "scale": network.scale,
+            "layer_sizes": list(network.layer_sizes),
+            "hidden_activation": "relu",
+            "weights": [(w / network.scale).tolist() for w in network.weights_q],
+            "biases": [(b / network.scale).tolist() for b in network.biases_q],
+        }
+    return {
+        "kind": "float",
+        "layer_sizes": list(network.layer_sizes),
+        "hidden_activation": network.hidden_activation,
+        "weights": [w.tolist() for w in network.weights],
+        "biases": [b.tolist() for b in network.biases],
+    }
+
+
+def network_from_payload(payload: Mapping[str, Any]):
+    """Rebuild the network a :func:`network_payload` dict describes.
+
+    Returns a ``QNetwork`` for float payloads and a ``QuantizedNetwork``
+    (at the original scale) for quantized ones, so workers run the same
+    inference pipeline the serial caller would.
+    """
+    from repro.rl.qnetwork import QNetwork
+    from repro.rl.quantized import QuantizedNetwork
+
+    network = QNetwork(
+        tuple(payload["layer_sizes"]), hidden_activation=payload["hidden_activation"]
+    )
+    network.set_weights(
+        {
+            "weights": [np.array(w, dtype=float) for w in payload["weights"]],
+            "biases": [np.array(b, dtype=float) for b in payload["biases"]],
+        }
+    )
+    if payload.get("kind") == "quantized":
+        return QuantizedNetwork(network, scale=int(payload["scale"]))
+    return network
+
+
+# ----------------------------------------------------------------------
+# Built-in experiments
+# ----------------------------------------------------------------------
+@register_experiment("sweep_point")
+def run_sweep_point(
+    seed: int = 0,
+    protocol: str = "lwb",
+    ratio: float = 0.0,
+    topology: Optional[Mapping[str, Any]] = None,
+    rounds: int = 75,
+    round_period_s: float = 4.0,
+    engine: str = "vectorized",
+    network: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One (protocol, interference-ratio) run of the Fig. 5 sweep."""
+    from repro.experiments.interference_sweep import run_single_sweep_point
+
+    topo = build_topology(topology or {"kind": "kiel"})
+    net = network_from_payload(network) if network is not None else None
+    metrics = run_single_sweep_point(
+        protocol, ratio, net, topo, rounds, round_period_s, seed, engine=engine
+    )
+    return metrics.as_dict()
+
+
+@register_experiment("dynamic_run")
+def run_dynamic_task(
+    seed: int = 0,
+    protocol: str = "dimmer",
+    topology: Optional[Mapping[str, Any]] = None,
+    time_scale: float = 1.0,
+    round_period_s: float = 4.0,
+    network: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One protocol run of the §V-C dynamic-interference timeline."""
+    from repro.experiments.dynamic import run_dynamic_experiment
+
+    topo = build_topology(topology or {"kind": "kiel"})
+    net = network_from_payload(network) if network is not None else None
+    result = run_dynamic_experiment(
+        protocol,
+        network=net,
+        topology=topo,
+        time_scale=time_scale,
+        round_period_s=round_period_s,
+        seed=seed,
+    )
+    return {
+        "protocol": result.protocol,
+        "metrics": result.metrics.as_dict(),
+        "times_s": list(result.reliability.times_s),
+        "reliability": list(result.reliability.values),
+        "n_tx": list(result.n_tx.values),
+        "radio_on_ms": list(result.radio_on_ms.values),
+        "interference_ratio": list(result.interference_ratio.values),
+    }
+
+
+@register_experiment("dcube_point")
+def run_dcube_point(
+    seed: int = 0,
+    protocol: str = "lwb",
+    level: int = 0,
+    topology: Optional[Mapping[str, Any]] = None,
+    num_rounds: int = 200,
+    num_sources: int = 5,
+    max_retries: int = 5,
+    network: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One (protocol, WiFi-level) grid point of the Fig. 7 comparison."""
+    from repro.experiments.dcube import run_single_dcube_point
+
+    topo = build_topology(topology or {"kind": "dcube"})
+    net = network_from_payload(network) if network is not None else None
+    result = run_single_dcube_point(
+        protocol, level, net, topo, num_rounds, num_sources, max_retries, seed
+    )
+    return {
+        "protocol": result.protocol,
+        "level": result.level,
+        "reliability": result.reliability,
+        "energy_j": result.energy_j,
+        "average_radio_on_ms": result.average_radio_on_ms,
+        "packets_generated": result.packets_generated,
+        "packets_delivered": result.packets_delivered,
+    }
+
+
+@register_experiment("mobile_jammer_run")
+def run_mobile_jammer_task(
+    seed: int = 0,
+    topology: Optional[Mapping[str, Any]] = None,
+    n_tx: int = 3,
+    rounds: int = 40,
+    round_period_s: float = 1.0,
+    interference_ratio: float = 0.3,
+    speed_mps: float = 1.0,
+    engine: str = "vectorized",
+) -> Dict[str, Any]:
+    """Static LWB under a jammer patrolling across the deployment."""
+    from repro.experiments.scenarios import MobileJammerScenario
+    from repro.net.simulator import NetworkSimulator, SimulatorConfig
+
+    topo = build_topology(topology or {"kind": "kiel"})
+    scenario = MobileJammerScenario.across(
+        topo, interference_ratio=interference_ratio, speed_mps=speed_mps
+    )
+    simulator = NetworkSimulator(
+        topo,
+        SimulatorConfig(
+            round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
+        ),
+    )
+    reliability: List[float] = []
+    radio_on: List[float] = []
+    for _ in range(rounds):
+        simulator.set_interference(scenario.interference_at(simulator.time_ms / 1000.0))
+        result = simulator.run_round(n_tx=n_tx)
+        reliability.append(result.reliability)
+        radio_on.append(result.average_radio_on_ms)
+    from repro.experiments.metrics import summarize_rounds
+
+    return summarize_rounds(reliability, radio_on).as_dict()
+
+
+@register_experiment("node_churn_run")
+def run_node_churn_task(
+    seed: int = 0,
+    topology: Optional[Mapping[str, Any]] = None,
+    n_tx: int = 3,
+    rounds: int = 40,
+    round_period_s: float = 1.0,
+    churn_rate: float = 0.2,
+    min_outage_rounds: int = 3,
+    max_outage_rounds: int = 8,
+    engine: str = "vectorized",
+) -> Dict[str, Any]:
+    """Static LWB while sources churn (nodes leave and rejoin the bus)."""
+    from repro.experiments.scenarios import NodeChurnScenario
+    from repro.net.simulator import NetworkSimulator, SimulatorConfig
+
+    topo = build_topology(topology or {"kind": "kiel"})
+    scenario = NodeChurnScenario(
+        topology=topo,
+        churn_rate=churn_rate,
+        min_outage_rounds=min_outage_rounds,
+        max_outage_rounds=max_outage_rounds,
+        seed=seed,
+    )
+    simulator = NetworkSimulator(
+        topo,
+        SimulatorConfig(
+            round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
+        ),
+    )
+    reliability: List[float] = []
+    radio_on: List[float] = []
+    active_counts: List[int] = []
+    for round_index in range(rounds):
+        sources = scenario.active_sources(round_index)
+        active_counts.append(len(sources))
+        simulator.set_sources(sources)
+        result = simulator.run_round(n_tx=n_tx)
+        reliability.append(result.reliability)
+        radio_on.append(result.average_radio_on_ms)
+    from repro.experiments.metrics import summarize_rounds
+
+    summary = summarize_rounds(reliability, radio_on).as_dict()
+    summary["average_active_sources"] = float(np.mean(active_counts))
+    return summary

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.net.interference import (
     AmbientInterference,
     BurstJammer,
@@ -27,7 +29,7 @@ from repro.net.interference import (
     NoInterference,
     WifiInterference,
 )
-from repro.net.topology import Topology
+from repro.net.topology import Position, Topology
 
 #: Ambient background level used for day-time runs on the office testbed.
 #: Matches the background level used during trace collection, so that the
@@ -153,6 +155,177 @@ class DynamicInterferenceScenario:
         if round_period_s <= 0:
             raise ValueError("round_period_s must be positive")
         return int(self.total_duration_s / round_period_s)
+
+
+@dataclass
+class MobileJammerScenario:
+    """A burst jammer patrolling the deployment along a waypoint path.
+
+    The jammer moves at ``speed_mps`` along ``waypoints`` (bouncing back
+    and forth), so different parts of the network are degraded at
+    different times — a workload the static jammer placements of the
+    paper never produce.  Per-round scripting works exactly like
+    :class:`DynamicInterferenceScenario`: call :meth:`interference_at`
+    with the current simulation time and install the result.
+
+    Attributes
+    ----------
+    waypoints:
+        Path vertices in metres (at least two).
+    interference_ratio:
+        Burst duty cycle of the jammer while it patrols.
+    speed_mps:
+        Movement speed along the path.
+    ambient_rate:
+        Background interference present throughout.
+    channels:
+        Channels the jammer affects (``None`` = all).
+    """
+
+    waypoints: Sequence[Position]
+    interference_ratio: float
+    speed_mps: float = 1.0
+    ambient_rate: float = DAYTIME_AMBIENT_RATE
+    channels: Optional[Sequence[int]] = None
+    range_m: float = 5.0
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("the patrol path needs at least two waypoints")
+        if not 0.0 <= self.interference_ratio <= 1.0:
+            raise ValueError("interference_ratio must be in [0, 1]")
+        if self.speed_mps <= 0:
+            raise ValueError("speed_mps must be positive")
+        self._leg_lengths = [
+            float(np.hypot(b[0] - a[0], b[1] - a[1]))
+            for a, b in zip(self.waypoints[:-1], self.waypoints[1:])
+        ]
+        if sum(self._leg_lengths) <= 0:
+            raise ValueError("the patrol path must have positive length")
+
+    @classmethod
+    def across(
+        cls,
+        topology: Topology,
+        interference_ratio: float,
+        speed_mps: float = 1.0,
+        **kwargs,
+    ) -> "MobileJammerScenario":
+        """Patrol along the bounding-box diagonal of ``topology``."""
+        xs = [p[0] for p in topology.positions.values()]
+        ys = [p[1] for p in topology.positions.values()]
+        return cls(
+            waypoints=((min(xs), min(ys)), (max(xs), max(ys))),
+            interference_ratio=interference_ratio,
+            speed_mps=speed_mps,
+            **kwargs,
+        )
+
+    def position_at(self, time_s: float) -> Position:
+        """Jammer position at ``time_s``, bouncing along the path."""
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        total = sum(self._leg_lengths)
+        # Bounce: walk the path forward, then backward, repeatedly.
+        travelled = (self.speed_mps * time_s) % (2.0 * total)
+        if travelled > total:
+            travelled = 2.0 * total - travelled
+        legs = list(zip(self.waypoints[:-1], self.waypoints[1:]))
+        for index, ((a, b), length) in enumerate(zip(legs, self._leg_lengths)):
+            if travelled <= length or index == len(legs) - 1:
+                fraction = 0.0 if length == 0 else min(1.0, travelled / length)
+                return (
+                    a[0] + fraction * (b[0] - a[0]),
+                    a[1] + fraction * (b[1] - a[1]),
+                )
+            travelled -= length
+        return self.waypoints[-1]
+
+    def interference_at(self, time_s: float) -> InterferenceSource:
+        """Interference environment with the jammer at its current position."""
+        sources: List[InterferenceSource] = []
+        if self.ambient_rate > 0.0:
+            sources.append(AmbientInterference(rate=self.ambient_rate, seed=self.seed))
+        if self.interference_ratio > 0.0:
+            sources.append(
+                BurstJammer(
+                    position=self.position_at(time_s),
+                    interference_ratio=self.interference_ratio,
+                    channels=tuple(self.channels) if self.channels is not None else None,
+                    range_m=self.range_m,
+                )
+            )
+        if not sources:
+            return NoInterference()
+        return CompositeInterference(sources)
+
+
+@dataclass
+class NodeChurnScenario:
+    """Deterministic node-churn timeline: sources fail and rejoin.
+
+    Every non-coordinator node independently goes down for
+    ``[min_outage_rounds, max_outage_rounds]`` rounds with probability
+    ``churn_rate`` per round, drawn once up front from ``seed`` — so the
+    outage schedule is a pure function of the configuration and two runs
+    with the same seed see identical churn (what the parallel runner's
+    caching relies on).
+
+    The coordinator never churns: without it no round can be scheduled.
+    """
+
+    topology: Topology
+    churn_rate: float = 0.1
+    min_outage_rounds: int = 2
+    max_outage_rounds: int = 6
+    horizon_rounds: int = 1024
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ValueError("churn_rate must be in [0, 1]")
+        if not 1 <= self.min_outage_rounds <= self.max_outage_rounds:
+            raise ValueError("require 1 <= min_outage_rounds <= max_outage_rounds")
+        if self.horizon_rounds <= 0:
+            raise ValueError("horizon_rounds must be positive")
+        rng = np.random.default_rng(self.seed)
+        #: node -> sorted list of (down_from_round, up_at_round) outages.
+        self._outages = {}
+        for node in self.topology.node_ids:
+            if node == self.topology.coordinator:
+                continue
+            outages: List[Tuple[int, int]] = []
+            round_index = 0
+            while round_index < self.horizon_rounds:
+                if rng.random() < self.churn_rate:
+                    length = int(
+                        rng.integers(self.min_outage_rounds, self.max_outage_rounds + 1)
+                    )
+                    outages.append((round_index, round_index + length))
+                    round_index += length
+                else:
+                    round_index += 1
+            self._outages[node] = outages
+
+    def is_up(self, node: int, round_index: int) -> bool:
+        """Whether ``node`` is up during round ``round_index``."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        for down, up in self._outages.get(node, ()):
+            if down <= round_index < up:
+                return False
+            if down > round_index:
+                break
+        return True
+
+    def active_sources(self, round_index: int) -> List[int]:
+        """Nodes up during ``round_index`` (coordinator always included)."""
+        return [
+            node
+            for node in self.topology.node_ids
+            if self.is_up(node, round_index)
+        ]
 
 
 def paper_dynamic_scenario(

@@ -19,7 +19,7 @@ from repro.net.channels import (
     wifi_overlap,
 )
 from repro.net.energy import EnergyModel, RadioOnTracker
-from repro.net.glossy import FloodResult, GlossyFlood
+from repro.net.glossy import FLOOD_ENGINES, FloodResult, GlossyFlood
 from repro.net.interference import (
     AmbientInterference,
     BurstJammer,
@@ -49,6 +49,7 @@ __all__ = [
     "wifi_overlap",
     "EnergyModel",
     "RadioOnTracker",
+    "FLOOD_ENGINES",
     "FloodResult",
     "GlossyFlood",
     "AmbientInterference",

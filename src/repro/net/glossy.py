@@ -86,6 +86,10 @@ class FloodResult:
         return sorted(n for n, ok in self.received.items() if not ok)
 
 
+#: Flood engine implementations selectable via ``SimulatorConfig.engine``.
+FLOOD_ENGINES = ("scalar", "vectorized")
+
+
 class GlossyFlood:
     """Phase-level simulator of a single Glossy flood.
 
@@ -100,6 +104,11 @@ class GlossyFlood:
     rng:
         Random generator used for reception draws; pass a seeded
         generator for reproducible floods.
+    engine:
+        ``"scalar"`` runs the per-node reference implementation;
+        ``"vectorized"`` advances each phase with NumPy state vectors
+        and batched reception draws (statistically equivalent, much
+        faster on large topologies).
     """
 
     def __init__(
@@ -108,11 +117,20 @@ class GlossyFlood:
         link_model: Optional[LinkModel] = None,
         radio: Optional[RadioModel] = None,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "scalar",
     ) -> None:
+        if engine not in FLOOD_ENGINES:
+            raise ValueError(f"engine must be one of {FLOOD_ENGINES}, got {engine!r}")
         self.topology = topology
         self.link_model = link_model if link_model is not None else LinkModel(topology)
         self.radio = radio if radio is not None else RadioModel()
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.engine = engine
+        #: Node coordinates in ``LinkModel.prr_matrix`` index order, used
+        #: for batched interference-penalty evaluation.
+        self._coords = np.array(
+            [topology.positions[node] for node in topology.node_ids], dtype=float
+        )
 
     def _normalize_n_tx(
         self,
@@ -184,6 +202,32 @@ class GlossyFlood:
         phase_ms = self.radio.phase_duration_ms(packet_bytes)
         num_phases = max(1, int(math.floor(slot_ms / phase_ms)))
 
+        runner = self._run_vectorized if self.engine == "vectorized" else self._run_scalar
+        return runner(
+            initiator=initiator,
+            participants=participants,
+            per_node_n_tx=per_node_n_tx,
+            channel=channel,
+            start_ms=start_ms,
+            interference=interference,
+            slot_ms=slot_ms,
+            phase_ms=phase_ms,
+            num_phases=num_phases,
+        )
+
+    def _run_scalar(
+        self,
+        initiator: int,
+        participants: List[int],
+        per_node_n_tx: Dict[int, int],
+        channel: int,
+        start_ms: float,
+        interference: InterferenceSource,
+        slot_ms: float,
+        phase_ms: float,
+        num_phases: int,
+    ) -> FloodResult:
+        """Reference implementation: per-node dict bookkeeping."""
         received: Dict[int, bool] = {node: False for node in participants}
         reception_phase: Dict[int, Optional[int]] = {node: None for node in participants}
         transmissions: Dict[int, int] = {node: 0 for node in participants}
@@ -270,6 +314,141 @@ class GlossyFlood:
             reception_phase=reception_phase,
             transmissions=transmissions,
             radio_on_ms=radio_on_ms,
+            slot_duration_ms=slot_ms,
+            channel=channel,
+        )
+
+    def _run_vectorized(
+        self,
+        initiator: int,
+        participants: List[int],
+        per_node_n_tx: Dict[int, int],
+        channel: int,
+        start_ms: float,
+        interference: InterferenceSource,
+        slot_ms: float,
+        phase_ms: float,
+        num_phases: int,
+    ) -> FloodResult:
+        """NumPy formulation: one phase is a handful of matrix operations.
+
+        State lives in per-node vectors aligned with the
+        :meth:`~repro.net.link.LinkModel.prr_matrix` index order; every
+        phase draws all reception outcomes in one batched RNG call.  The
+        per-phase logic mirrors :meth:`_run_scalar` exactly — only the
+        RNG consumption pattern differs, so results are statistically
+        (not bit-for-bit) identical under a fixed seed.
+        """
+        index = self.link_model.node_index
+        n_all = len(index)
+        part_mask = np.zeros(n_all, dtype=bool)
+        n_tx_vec = np.zeros(n_all, dtype=np.int64)
+        for node in participants:
+            part_mask[index[node]] = True
+            n_tx_vec[index[node]] = per_node_n_tx[node]
+
+        received = np.zeros(n_all, dtype=bool)
+        reception_phase = np.full(n_all, -1, dtype=np.int64)
+        transmissions = np.zeros(n_all, dtype=np.int64)
+        next_tx = np.full(n_all, -1, dtype=np.int64)  # -1 = not scheduled
+        off_after = np.full(n_all, -1, dtype=np.int64)  # -1 = radio still on
+
+        init_idx = index[initiator]
+        received[init_idx] = True
+        reception_phase[init_idx] = 0
+        next_tx[init_idx] = 0
+
+        # One batched draw for the whole slot: row ``p`` serves phase ``p``.
+        draws = self.rng.random((num_phases, n_all))
+        prr = self.link_model.prr_matrix()
+        link_failure = self.link_model._failure_matrix
+        boost_factor = 1.0 + self.link_model.capture_boost
+        no_interference = isinstance(interference, NoInterference)
+        passive = n_tx_vec == 0
+
+        on_air = part_mask.copy()  # participants whose radio is still on
+        for phase in range(num_phases):
+            transmit = (next_tx == phase) & on_air
+            tx_indices = transmit.nonzero()[0]
+            num_tx = len(tx_indices)
+            if num_tx:
+                # Inlined LinkModel.reception_probabilities (the method
+                # itself stays the reference for property tests): the
+                # reception fails only if every non-self link fails, with
+                # the capture boost rewarding >1 synchronized senders.
+                if num_tx == 1:
+                    probabilities = prr[tx_indices[0]]
+                else:
+                    # Values at transmitter indices diverge from the
+                    # reference method (no per-transmitter boost
+                    # exception) but are never consumed: transmitters
+                    # are masked out of ``success`` below.
+                    probabilities = 1.0 - link_failure[tx_indices].prod(axis=0)
+                    probabilities *= boost_factor
+                    np.minimum(probabilities, 1.0, out=probabilities)
+                if not no_interference:
+                    penalties = interference.penalty_batch(
+                        self._coords, start_ms + phase * phase_ms, phase_ms, channel
+                    )
+                    probabilities = probabilities * (1.0 - penalties)
+                # Transmitters cannot listen; a draw >= probability fails.
+                success = (draws[phase] < probabilities) & on_air & ~transmit
+                newly = success & ~received
+                received |= newly
+                reception_phase[newly] = phase
+                # Glossy re-synchronizes on every reception: (re-)arm the
+                # next transmission if the node has transmissions left.
+                rearm = success & (transmissions < n_tx_vec) & (next_tx < 0)
+                next_tx[rearm] = phase + 1
+
+                transmissions[tx_indices] += 1
+                spent = transmit & (transmissions >= n_tx_vec)
+                again = transmit & ~spent
+                next_tx[again] = phase + 2  # listen next phase, send after
+                next_tx[spent] = -1
+                off_after[spent] = phase + 1
+                on_air &= ~spent
+
+            # Passive receivers switch off right after their first
+            # reception, forwarders once their budget is spent.
+            done = on_air & received & (
+                passive | ((transmissions >= n_tx_vec) & (next_tx < 0))
+            )
+            if done.any():
+                off_after[done] = phase + 1
+                on_air &= ~done
+
+            if not (next_tx >= 0).any():
+                # No transmission is pending anywhere: no state can change
+                # in later phases (nodes still listening stay on until the
+                # end of the slot, which the radio-on accounting below
+                # covers), so the phase loop can stop early.
+                break
+
+        on_phases = np.where(off_after < 0, num_phases, np.minimum(off_after, num_phases))
+        radio_on = np.minimum(slot_ms, on_phases * phase_ms)
+
+        received_list = received.tolist()
+        phase_list = reception_phase.tolist()
+        tx_list = transmissions.tolist()
+        radio_list = radio_on.tolist()
+        received_map: Dict[int, bool] = {}
+        phase_map: Dict[int, Optional[int]] = {}
+        tx_map: Dict[int, int] = {}
+        radio_map: Dict[int, float] = {}
+        for node in participants:
+            i = index[node]
+            received_map[node] = received_list[i]
+            phase_map[node] = phase_list[i] if phase_list[i] >= 0 else None
+            tx_map[node] = tx_list[i]
+            radio_map[node] = radio_list[i]
+
+        return FloodResult(
+            initiator=initiator,
+            received=received_map,
+            reception_phase=phase_map,
+            transmissions=tx_map,
+            radio_on_ms=radio_map,
             slot_duration_ms=slot_ms,
             channel=channel,
         )

@@ -19,6 +19,13 @@ import numpy as np
 
 from repro.net.topology import Topology
 
+#: Centre and slope of the logistic PRR curve approximating the CC2420
+#: waterfall region (PRR rises from ~0 to ~1 over roughly 6 dB around an
+#: SNR of 4 dB).  Shared by the scalar path and the cached PRR matrix —
+#: tune the curve here, not in either implementation.
+PRR_SNR_MIDPOINT_DB = 4.0
+PRR_SNR_SLOPE_PER_DB = 1.2
+
 
 @dataclass(frozen=True)
 class LinkQuality:
@@ -66,10 +73,14 @@ class LinkModel:
     seed: Optional[int] = None
     _shadowing: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
     _cache: Dict[Tuple[int, int], LinkQuality] = field(default_factory=dict, repr=False)
+    _prr_matrix: Optional[np.ndarray] = field(default=None, repr=False)
+    _failure_matrix: Optional[np.ndarray] = field(default=None, repr=False)
+    _node_index: Dict[int, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         rng = np.random.default_rng(self.seed)
         ids = self.topology.node_ids
+        self._node_index = {node: index for index, node in enumerate(ids)}
         for i, a in enumerate(ids):
             for b in ids[i + 1:]:
                 shadow = float(rng.normal(0.0, self.shadowing_std_db))
@@ -77,6 +88,15 @@ class LinkModel:
                 # directions of a link.
                 self._shadowing[(a, b)] = shadow
                 self._shadowing[(b, a)] = shadow
+
+    @property
+    def node_index(self) -> Dict[int, int]:
+        """Mapping node id -> row/column index of the matrix APIs.
+
+        Rows and columns of :meth:`prr_matrix` follow
+        ``topology.node_ids`` (sorted) order.
+        """
+        return self._node_index
 
     def rssi_dbm(self, sender: int, receiver: int) -> float:
         """Received signal strength of ``sender`` at ``receiver``."""
@@ -88,10 +108,12 @@ class LinkModel:
     def prr_from_snr(self, snr_db: float) -> float:
         """Map an SNR to a packet reception rate with a logistic PRR curve.
 
-        The curve approximates the CC2420 waterfall region: PRR rises
-        from ~0 to ~1 over roughly 6 dB around an SNR of 4 dB.
+        The curve approximates the CC2420 waterfall region (see
+        :data:`PRR_SNR_MIDPOINT_DB` / :data:`PRR_SNR_SLOPE_PER_DB`).
         """
-        return 1.0 / (1.0 + math.exp(-(snr_db - 4.0) * 1.2))
+        return 1.0 / (
+            1.0 + math.exp(-(snr_db - PRR_SNR_MIDPOINT_DB) * PRR_SNR_SLOPE_PER_DB)
+        )
 
     def link(self, sender: int, receiver: int) -> LinkQuality:
         """Return the static quality of the directed link sender -> receiver."""
@@ -141,6 +163,97 @@ class LinkModel:
         if len(prrs) > 1 and success > 0.0:
             success = min(1.0, success * (1.0 + self.capture_boost))
         return success * (1.0 - interference_penalty)
+
+    def prr_matrix(self) -> np.ndarray:
+        """Interference-free PRR of every directed link as an ``(N, N)`` matrix.
+
+        Entry ``[i, j]`` is the packet reception rate of the link
+        ``node_ids[i] -> node_ids[j]`` (see :attr:`node_index` for the
+        id -> index mapping) and matches :meth:`prr` element-wise.  The
+        diagonal is zero: a node never receives its own transmission.
+        The matrix is computed once and cached; callers must not mutate
+        the returned array.
+        """
+        if self._prr_matrix is None:
+            ids = self.topology.node_ids
+            n = len(ids)
+            coords = np.array([self.topology.positions[node] for node in ids], dtype=float)
+            delta = coords[:, None, :] - coords[None, :, :]
+            distance = np.hypot(delta[..., 0], delta[..., 1])
+            shadow = np.zeros((n, n), dtype=float)
+            for (a, b), value in self._shadowing.items():
+                shadow[self._node_index[a], self._node_index[b]] = value
+            path_loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * np.log10(
+                np.maximum(distance, 0.5)
+            )
+            rssi = self.tx_power_dbm - path_loss + shadow
+            snr = rssi - self.noise_floor_dbm
+            prr = 1.0 / (
+                1.0 + np.exp(-(snr - PRR_SNR_MIDPOINT_DB) * PRR_SNR_SLOPE_PER_DB)
+            )
+            prr[distance > self.topology.comm_range_m] = 0.0
+            np.fill_diagonal(prr, 0.0)
+            prr.setflags(write=False)
+            self._prr_matrix = prr
+            failure = 1.0 - prr
+            failure.setflags(write=False)
+            self._failure_matrix = failure
+        return self._prr_matrix
+
+    def reception_probabilities(
+        self,
+        transmitter_mask: np.ndarray,
+        interference_penalty: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`reception_probability` for every node at once.
+
+        Parameters
+        ----------
+        transmitter_mask:
+            Boolean vector of length ``N`` (in :meth:`prr_matrix` index
+            order) flagging the synchronized Glossy forwarders of the
+            phase.
+        interference_penalty:
+            Optional per-receiver penalty vector in [0, 1].
+
+        Returns
+        -------
+        np.ndarray
+            Per-node success probability; entry ``i`` equals
+            ``reception_probability(transmitters, node_ids[i], penalty_i)``.
+        """
+        matrix = self.prr_matrix()
+        mask = np.asarray(transmitter_mask, dtype=bool)
+        if mask.shape != (matrix.shape[0],):
+            raise ValueError("transmitter_mask must have one entry per node")
+        tx_indices = np.flatnonzero(mask)
+        num_tx = len(tx_indices)
+        if num_tx == 0:
+            return np.zeros(matrix.shape[0])
+        if num_tx == 1:
+            # Single transmitter: the link PRR is the success probability
+            # (the zero diagonal yields 0 for the transmitter itself).
+            success = matrix[tx_indices[0]].copy()
+        else:
+            # A reception fails only if every individual (non-self) link
+            # fails; the zero diagonal makes self-links a no-op factor.
+            failure = self._failure_matrix[tx_indices].prod(axis=0)
+            success = 1.0 - failure
+            # Redundancy reward: a receiver hearing >1 synchronized
+            # transmitters (itself excluded) gets the capture boost.
+            boosted = np.minimum(1.0, success * (1.0 + self.capture_boost))
+            if num_tx == 2:
+                # A transmitting receiver only has one *other* transmitter.
+                boosted[tx_indices] = success[tx_indices]
+            success = boosted
+        if interference_penalty is not None:
+            penalty = np.asarray(interference_penalty, dtype=float)
+            if penalty.shape != success.shape:
+                raise ValueError("interference_penalty must have one entry per node")
+            if np.any((penalty < 0.0) | (penalty > 1.0)):
+                raise ValueError("interference_penalty must be in [0, 1]")
+            success *= 1.0 - penalty
+        return success
 
     def usable_links(self, min_prr: float = 0.1) -> Dict[Tuple[int, int], LinkQuality]:
         """All directed links whose interference-free PRR exceeds ``min_prr``."""

@@ -229,6 +229,9 @@ class LWBRoundEngine:
         Application packet size (30 bytes in the paper).
     rng:
         Random generator shared by all floods of this engine.
+    engine:
+        Flood engine implementation (``"scalar"`` reference or
+        ``"vectorized"``, see :class:`~repro.net.glossy.GlossyFlood`).
     """
 
     def __init__(
@@ -241,6 +244,7 @@ class LWBRoundEngine:
         slot_gap_ms: float = 2.0,
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         rng: Optional[np.random.Generator] = None,
+        engine: str = "scalar",
     ) -> None:
         if slot_ms <= 0:
             raise ValueError("slot_ms must be positive")
@@ -252,7 +256,7 @@ class LWBRoundEngine:
         self.slot_gap_ms = slot_gap_ms
         self.packet_bytes = packet_bytes
         self.rng = rng if rng is not None else np.random.default_rng()
-        self._flood = GlossyFlood(topology, self.link_model, self.radio, self.rng)
+        self._flood = GlossyFlood(topology, self.link_model, self.radio, self.rng, engine=engine)
 
     def round_airtime_ms(self, num_data_slots: int) -> float:
         """Total on-air duration of a round with ``num_data_slots`` data slots."""

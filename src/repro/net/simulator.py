@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.net.channels import ChannelHopper
 from repro.net.energy import EnergyModel, RadioOnTracker
+from repro.net.glossy import FLOOD_ENGINES
 from repro.net.interference import InterferenceSource, NoInterference
 from repro.net.link import LinkModel
 from repro.net.lwb import LWBRoundEngine, RoundResult, Schedule
@@ -40,6 +41,7 @@ class SimulatorConfig:
     tx_power_dbm: float = 0.0
     default_n_tx: int = 3
     channel_hopping: bool = True
+    engine: str = "vectorized"
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -49,6 +51,8 @@ class SimulatorConfig:
             raise ValueError("slot_ms must be positive")
         if self.default_n_tx < 0:
             raise ValueError("default_n_tx must be non-negative")
+        if self.engine not in FLOOD_ENGINES:
+            raise ValueError(f"engine must be one of {FLOOD_ENGINES}, got {self.engine!r}")
 
     @property
     def round_period_ms(self) -> float:
@@ -107,6 +111,7 @@ class NetworkSimulator:
             slot_gap_ms=self.config.slot_gap_ms,
             packet_bytes=self.config.packet_bytes,
             rng=self.rng,
+            engine=self.config.engine,
         )
         self.energy_model = EnergyModel(self.radio)
 

@@ -1,0 +1,159 @@
+"""Equivalence tests: vectorized vs scalar Glossy flood engine.
+
+The two engines consume randomness differently (per-listener draws vs
+one batched draw per phase), so individual floods differ; under a fixed
+seed their *statistics* — reliability, radio-on time, transmission
+counts — must agree across topologies and interference conditions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import jamming_interference
+from repro.net.glossy import FLOOD_ENGINES, GlossyFlood
+from repro.net.interference import BurstJammer
+from repro.net.link import LinkModel
+from repro.net.simulator import NetworkSimulator, SimulatorConfig
+from repro.net.topology import grid_topology, kiel_testbed, random_topology
+
+
+def flood_statistics(topology, engine, seed, interference=None, floods=250, n_tx=2):
+    """Aggregate reliability / radio-on / tx statistics over many floods."""
+    link_model = LinkModel(topology, seed=1)
+    flood = GlossyFlood(
+        topology, link_model, rng=np.random.default_rng(seed), engine=engine
+    )
+    reliability, radio_on, transmissions = [], [], []
+    for index in range(floods):
+        result = flood.run(
+            initiator=topology.node_ids[index % topology.num_nodes],
+            n_tx=n_tx,
+            interference=interference,
+            start_ms=index * 20.0,
+        )
+        reliability.append(result.reliability)
+        radio_on.append(result.average_radio_on_ms)
+        transmissions.append(sum(result.transmissions.values()))
+    return (
+        float(np.mean(reliability)),
+        float(np.mean(radio_on)),
+        float(np.mean(transmissions)),
+    )
+
+
+DENSE = grid_topology(rows=4, cols=4, spacing_m=4.0, comm_range_m=12.0, name="dense")
+SPARSE = grid_topology(rows=2, cols=8, spacing_m=7.5, comm_range_m=9.0, name="sparse")
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("topology", [DENSE, SPARSE], ids=["dense", "sparse"])
+    def test_clean_topology_statistics_agree(self, topology):
+        scalar = flood_statistics(topology, "scalar", seed=42)
+        vectorized = flood_statistics(topology, "vectorized", seed=42)
+        assert vectorized[0] == pytest.approx(scalar[0], abs=0.02)  # reliability
+        assert vectorized[1] == pytest.approx(scalar[1], rel=0.05)  # radio-on
+        assert vectorized[2] == pytest.approx(scalar[2], rel=0.05)  # transmissions
+
+    def test_interfered_topology_statistics_agree(self):
+        topology = kiel_testbed()
+        interference = jamming_interference(topology, 0.3)
+        scalar = flood_statistics(topology, "scalar", seed=7, interference=interference)
+        vectorized = flood_statistics(
+            topology, "vectorized", seed=7, interference=interference
+        )
+        assert vectorized[0] == pytest.approx(scalar[0], abs=0.03)
+        assert vectorized[1] == pytest.approx(scalar[1], rel=0.07)
+        assert vectorized[2] == pytest.approx(scalar[2], rel=0.07)
+
+    def test_random_topology_statistics_agree(self):
+        topology = random_topology(30, seed=5)
+        scalar = flood_statistics(topology, "scalar", seed=11, n_tx=3)
+        vectorized = flood_statistics(topology, "vectorized", seed=11, n_tx=3)
+        assert vectorized[0] == pytest.approx(scalar[0], abs=0.02)
+        assert vectorized[1] == pytest.approx(scalar[1], rel=0.05)
+
+    def test_jammed_region_blocks_both_engines(self):
+        """A fully-jammed flood fails identically in both engines."""
+        topology = grid_topology(rows=2, cols=2, spacing_m=4.0, comm_range_m=8.0)
+        jammer = BurstJammer(
+            position=(2.0, 2.0), interference_ratio=1.0, channels=None, range_m=50.0
+        )
+        for engine in FLOOD_ENGINES:
+            flood = GlossyFlood(
+                topology, rng=np.random.default_rng(0), engine=engine
+            )
+            result = flood.run(initiator=0, n_tx=3, interference=jammer)
+            assert result.reliability == 0.0
+
+
+class TestVectorizedSemantics:
+    """Structural invariants the scalar reference also guarantees."""
+
+    @pytest.fixture()
+    def flood(self):
+        topology = grid_topology(rows=3, cols=3, spacing_m=4.0, comm_range_m=12.0)
+        return GlossyFlood(topology, rng=np.random.default_rng(3), engine="vectorized")
+
+    def test_initiator_counts_as_received_in_phase_zero(self, flood):
+        result = flood.run(initiator=4, n_tx=2)
+        assert result.received[4]
+        assert result.reception_phase[4] == 0
+
+    def test_transmissions_respect_budget(self, flood):
+        result = flood.run(initiator=0, n_tx=2)
+        assert all(count <= 2 for count in result.transmissions.values())
+        assert result.transmissions[0] >= 1
+
+    def test_passive_receivers_never_transmit(self, flood):
+        n_tx = {node: 0 for node in flood.topology.node_ids}
+        n_tx[0] = 3
+        result = flood.run(initiator=0, n_tx=n_tx)
+        assert all(
+            result.transmissions[node] == 0 for node in flood.topology.node_ids if node != 0
+        )
+
+    def test_non_participants_are_excluded(self, flood):
+        participants = [0, 1, 2]
+        result = flood.run(initiator=0, n_tx=2, participants=participants)
+        assert sorted(result.received) == participants
+
+    def test_radio_on_bounded_by_slot(self, flood):
+        result = flood.run(initiator=0, n_tx=3, max_slot_ms=10.0)
+        assert all(0.0 <= value <= 10.0 for value in result.radio_on_ms.values())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            GlossyFlood(grid_topology(2, 2), engine="warp-drive")
+
+
+class TestSimulatorEngineSelection:
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(engine="quantum")
+
+    @pytest.mark.parametrize("engine", FLOOD_ENGINES)
+    def test_round_runs_under_both_engines(self, engine):
+        topology = grid_topology(rows=3, cols=3, spacing_m=4.0, comm_range_m=12.0)
+        simulator = NetworkSimulator(
+            topology,
+            SimulatorConfig(seed=5, channel_hopping=False, engine=engine),
+        )
+        result = simulator.run_round(n_tx=2)
+        assert result.reliability > 0.9
+
+    def test_engines_agree_on_round_statistics(self):
+        topology = kiel_testbed()
+        outcomes = {}
+        for engine in FLOOD_ENGINES:
+            simulator = NetworkSimulator(
+                topology,
+                SimulatorConfig(seed=9, channel_hopping=False, engine=engine),
+            )
+            for _ in range(15):
+                simulator.run_round(n_tx=2)
+            outcomes[engine] = (
+                simulator.average_reliability(),
+                simulator.average_radio_on_ms(),
+            )
+        assert outcomes["vectorized"][0] == pytest.approx(outcomes["scalar"][0], abs=0.03)
+        assert outcomes["vectorized"][1] == pytest.approx(outcomes["scalar"][1], rel=0.10)

@@ -1,9 +1,10 @@
 """Tests for the link model."""
 
+import numpy as np
 import pytest
 
 from repro.net.link import LinkModel
-from repro.net.topology import grid_topology, kiel_testbed
+from repro.net.topology import grid_topology, kiel_testbed, random_topology
 
 
 @pytest.fixture()
@@ -83,3 +84,83 @@ class TestReceptionProbability:
         links = link_model.usable_links(min_prr=0.5)
         assert links
         assert all(quality.prr >= 0.5 for quality in links.values())
+
+
+class TestPrrMatrix:
+    """Property tests: the matrix APIs match the per-pair scalar path."""
+
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            kiel_testbed(),
+            grid_topology(rows=3, cols=4, spacing_m=5.0, comm_range_m=9.0),
+            random_topology(25, seed=9),
+        ],
+        ids=["kiel", "grid", "random"],
+    )
+    def test_matrix_matches_per_pair_prr(self, topology):
+        model = LinkModel(topology, seed=2)
+        matrix = model.prr_matrix()
+        ids = topology.node_ids
+        assert matrix.shape == (len(ids), len(ids))
+        for i, a in enumerate(ids):
+            for j, b in enumerate(ids):
+                if a == b:
+                    assert matrix[i, j] == 0.0
+                else:
+                    assert matrix[i, j] == pytest.approx(model.prr(a, b), abs=1e-12)
+
+    def test_matrix_is_cached_and_read_only(self, kiel):
+        model = LinkModel(kiel, seed=0)
+        first = model.prr_matrix()
+        assert model.prr_matrix() is first
+        with pytest.raises(ValueError):
+            first[0, 1] = 0.5
+
+    def test_node_index_follows_sorted_ids(self, kiel):
+        model = LinkModel(kiel, seed=0)
+        assert [node for node, _ in sorted(model.node_index.items(), key=lambda kv: kv[1])] == kiel.node_ids
+
+    @pytest.mark.parametrize("tx_count", [1, 2, 3, 6])
+    def test_reception_probabilities_match_scalar(self, kiel, tx_count):
+        model = LinkModel(kiel, seed=4)
+        ids = kiel.node_ids
+        mask = np.zeros(len(ids), dtype=bool)
+        transmitters = ids[:tx_count]
+        mask[[model.node_index[t] for t in transmitters]] = True
+        vector = model.reception_probabilities(mask)
+        for i, receiver in enumerate(ids):
+            assert vector[i] == pytest.approx(
+                model.reception_probability(transmitters, receiver), abs=1e-12
+            )
+
+    def test_reception_probabilities_with_interference_penalties(self, kiel):
+        model = LinkModel(kiel, seed=4)
+        ids = kiel.node_ids
+        mask = np.zeros(len(ids), dtype=bool)
+        transmitters = [ids[0], ids[5]]
+        mask[[model.node_index[t] for t in transmitters]] = True
+        penalties = np.linspace(0.0, 1.0, len(ids))
+        vector = model.reception_probabilities(mask, penalties)
+        for i, receiver in enumerate(ids):
+            expected = model.reception_probability(
+                transmitters, receiver, interference_penalty=float(penalties[i])
+            )
+            assert vector[i] == pytest.approx(expected, abs=1e-12)
+
+    def test_no_transmitters_yield_zero_probabilities(self, kiel):
+        model = LinkModel(kiel, seed=4)
+        vector = model.reception_probabilities(np.zeros(kiel.num_nodes, dtype=bool))
+        assert (vector == 0.0).all()
+
+    def test_invalid_penalties_rejected(self, kiel):
+        model = LinkModel(kiel, seed=4)
+        mask = np.zeros(kiel.num_nodes, dtype=bool)
+        mask[0] = True
+        with pytest.raises(ValueError):
+            model.reception_probabilities(mask, np.full(kiel.num_nodes, 1.5))
+
+    def test_wrong_mask_shape_rejected(self, kiel):
+        model = LinkModel(kiel, seed=4)
+        with pytest.raises(ValueError):
+            model.reception_probabilities(np.zeros(3, dtype=bool))

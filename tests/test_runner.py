@@ -1,0 +1,288 @@
+"""Tests for the parallel experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.interference_sweep import (
+    run_interference_sweep,
+    run_interference_sweep_parallel,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ParallelRunner,
+    RunnerError,
+    ScenarioTask,
+    build_topology,
+    network_from_payload,
+    network_payload,
+    register_experiment,
+    stable_seed,
+)
+from repro.experiments.scenarios import MobileJammerScenario, NodeChurnScenario
+from repro.net.topology import kiel_testbed
+from repro.rl.qnetwork import QNetwork
+
+
+@register_experiment("test_echo")
+def _echo_experiment(seed=0, value=0.0):
+    """Deterministic toy experiment used by the runner tests."""
+    rng = np.random.default_rng(seed)
+    return {"value": value, "seed": seed, "draw": float(rng.random())}
+
+
+@register_experiment("test_boom")
+def _boom_experiment(seed=0):
+    raise RuntimeError("worker exploded")
+
+
+def echo_tasks(count, seed=0):
+    return [
+        ScenarioTask("test_echo", {"value": float(index)}, seed=stable_seed(seed, index))
+        for index in range(count)
+    ]
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("a", 1, {"x": 2.0}) == stable_seed("a", 1, {"x": 2.0})
+
+    def test_sensitive_to_content(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_dict_order_irrelevant(self):
+        assert stable_seed({"a": 1, "b": 2}) == stable_seed({"b": 2, "a": 1})
+
+    def test_numpy_scalars_canonicalized(self):
+        assert stable_seed(np.int64(3)) == stable_seed(3)
+
+
+class TestScenarioTask:
+    def test_key_stable_and_content_addressed(self):
+        a = ScenarioTask("test_echo", {"value": 1.0}, seed=3)
+        b = ScenarioTask("test_echo", {"value": 1.0}, seed=3)
+        c = ScenarioTask("test_echo", {"value": 2.0}, seed=3)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_describe_uses_label(self):
+        task = ScenarioTask("test_echo", label="my-point")
+        assert task.describe() == "my-point"
+
+
+class TestParallelRunner:
+    def test_results_in_task_order(self):
+        runner = ParallelRunner(max_workers=2)
+        results = runner.run(echo_tasks(6))
+        assert [entry["value"] for entry in results] == [float(i) for i in range(6)]
+
+    def test_deterministic_independent_of_worker_count(self):
+        tasks = echo_tasks(8, seed=1)
+        inline = ParallelRunner(max_workers=1).run(tasks)
+        two = ParallelRunner(max_workers=2).run(tasks)
+        four = ParallelRunner(max_workers=4).run(tasks)
+        assert inline == two == four
+
+    def test_cache_miss_then_hit(self, tmp_path):
+        tasks = echo_tasks(4)
+        first = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        results = first.run(tasks)
+        assert first.stats.cache_misses == 4
+        assert first.stats.cache_hits == 0
+        assert first.stats.executed == 4
+
+        second = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        again = second.run(tasks)
+        assert again == results
+        assert second.stats.cache_hits == 4
+        assert second.stats.executed == 0
+
+    def test_cache_keyed_by_content(self, tmp_path):
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run(echo_tasks(2))
+        changed = [
+            ScenarioTask("test_echo", {"value": 0.0}, seed=stable_seed(0, 0)),
+            ScenarioTask("test_echo", {"value": 99.0}, seed=stable_seed(0, 99)),
+        ]
+        runner.stats.cache_hits = runner.stats.cache_misses = 0
+        runner.run(changed)
+        assert runner.stats.cache_hits == 1  # unchanged task reused
+        assert runner.stats.cache_misses == 1  # new task recomputed
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        tasks = echo_tasks(2)
+        ParallelRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        victim = tmp_path / f"{tasks[0].key()}.json"
+        victim.write_text("{torn write")
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        results = runner.run(tasks)
+        assert [entry["value"] for entry in results] == [0.0, 1.0]
+        assert runner.stats.cache_misses == 1
+        assert runner.stats.cache_hits == 1
+        # The corrupt entry was overwritten with a valid one.
+        assert ParallelRunner(max_workers=1, cache_dir=tmp_path).run(tasks) == results
+
+    def test_worker_failure_propagates(self):
+        runner = ParallelRunner(max_workers=2)
+        tasks = echo_tasks(2) + [ScenarioTask("test_boom", label="the-bomb")]
+        with pytest.raises(RunnerError, match="the-bomb"):
+            runner.run(tasks)
+
+    def test_inline_failure_propagates(self):
+        runner = ParallelRunner(max_workers=1)
+        with pytest.raises(RunnerError, match="test_boom"):
+            runner.run([ScenarioTask("test_boom")])
+
+    def test_unknown_experiment_fails(self):
+        runner = ParallelRunner(max_workers=1)
+        with pytest.raises(RunnerError, match="no_such_experiment"):
+            runner.run([ScenarioTask("no_such_experiment")])
+
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(max_workers=-1)
+
+    def test_run_grid_groups_per_scenario(self):
+        runner = ParallelRunner(max_workers=2)
+        grid = [{"value": 1.0}, {"value": 2.0}]
+        per_scenario = runner.run_grid("test_echo", grid, seeds=(0, 1))
+        assert len(per_scenario) == 2
+        assert all(len(entry) == 2 for entry in per_scenario)
+        assert {e["value"] for e in per_scenario[0]} == {1.0}
+        # Per-task seeds differ across seed indices but are deterministic.
+        assert per_scenario[0][0]["seed"] != per_scenario[0][1]["seed"]
+        again = ParallelRunner(max_workers=1).run_grid("test_echo", grid, seeds=(0, 1))
+        assert again == per_scenario
+
+
+class TestWorkerHelpers:
+    def test_build_topology_specs(self):
+        assert build_topology({"kind": "kiel"}).name == "kiel-18"
+        grid = build_topology({"kind": "grid", "rows": 2, "cols": 3})
+        assert grid.num_nodes == 6
+        with pytest.raises(ValueError):
+            build_topology({"kind": "klein-bottle"})
+
+    def test_network_payload_round_trip(self):
+        network = QNetwork((31, 30, 3), seed=7)
+        clone = network_from_payload(network_payload(network))
+        x = np.linspace(-1.0, 1.0, 31)
+        assert np.allclose(network(x), clone(x))
+
+    def test_quantized_network_payload_round_trip(self):
+        from repro.rl.quantized import QuantizedNetwork
+
+        network = QNetwork((31, 30, 3), seed=7)
+        quantized = QuantizedNetwork(network, scale=1000)
+        clone = network_from_payload(network_payload(quantized))
+        # The worker gets a QuantizedNetwork at the original scale with
+        # bit-identical integer weights.
+        assert isinstance(clone, QuantizedNetwork)
+        assert clone.scale == 1000
+        for a, b in zip(quantized.weights_q, clone.weights_q):
+            assert (a == b).all()
+
+
+class TestBuiltInExperiments:
+    def test_registry_contains_paper_harnesses(self):
+        for name in ("sweep_point", "dynamic_run", "dcube_point",
+                     "mobile_jammer_run", "node_churn_run"):
+            assert name in EXPERIMENTS
+
+    def test_parallel_sweep_matches_serial(self, untrained_network):
+        serial = run_interference_sweep(
+            network=untrained_network,
+            ratios=(0.0, 0.3),
+            protocols=("lwb", "dimmer"),
+            rounds_per_run=8,
+            runs=2,
+            seed=5,
+        )
+        runner = ParallelRunner(max_workers=2)
+        parallel = run_interference_sweep_parallel(
+            runner,
+            network=untrained_network,
+            ratios=(0.0, 0.3),
+            protocols=("lwb", "dimmer"),
+            rounds_per_run=8,
+            runs=2,
+            seed=5,
+        )
+        for point in serial.points:
+            twin = parallel.point(point.protocol, point.interference_ratio)
+            assert twin.metrics.reliability == pytest.approx(point.metrics.reliability)
+            assert twin.metrics.radio_on_ms == pytest.approx(point.metrics.radio_on_ms)
+
+    def test_mobile_jammer_task_degrades_reliability(self):
+        runner = ParallelRunner(max_workers=1)
+        clean, jammed = runner.run(
+            [
+                ScenarioTask(
+                    "mobile_jammer_run",
+                    {"rounds": 12, "interference_ratio": 0.0, "round_period_s": 1.0},
+                    seed=3,
+                ),
+                ScenarioTask(
+                    "mobile_jammer_run",
+                    {"rounds": 12, "interference_ratio": 0.6, "round_period_s": 1.0},
+                    seed=3,
+                ),
+            ]
+        )
+        assert jammed["reliability"] <= clean["reliability"]
+
+    def test_node_churn_task_reports_active_sources(self):
+        runner = ParallelRunner(max_workers=1)
+        (result,) = runner.run(
+            [ScenarioTask("node_churn_run", {"rounds": 12, "churn_rate": 0.4}, seed=2)]
+        )
+        assert 1.0 <= result["average_active_sources"] <= 18.0
+        assert 0.0 <= result["reliability"] <= 1.0
+
+
+class TestScenarioFamilies:
+    def test_mobile_jammer_moves_and_bounces(self):
+        scenario = MobileJammerScenario(
+            waypoints=((0.0, 0.0), (10.0, 0.0)), interference_ratio=0.3, speed_mps=1.0
+        )
+        assert scenario.position_at(0.0) == (0.0, 0.0)
+        assert scenario.position_at(5.0) == (5.0, 0.0)
+        assert scenario.position_at(10.0) == (10.0, 0.0)
+        assert scenario.position_at(15.0) == (5.0, 0.0)  # bounced back
+        assert scenario.position_at(20.0) == (0.0, 0.0)
+
+    def test_mobile_jammer_across_spans_topology(self):
+        topology = kiel_testbed()
+        scenario = MobileJammerScenario.across(topology, interference_ratio=0.2)
+        start = scenario.position_at(0.0)
+        xs = [p[0] for p in topology.positions.values()]
+        ys = [p[1] for p in topology.positions.values()]
+        assert start == (min(xs), min(ys))
+
+    def test_mobile_jammer_interference_is_composite(self):
+        topology = kiel_testbed()
+        scenario = MobileJammerScenario.across(topology, interference_ratio=0.2)
+        source = scenario.interference_at(3.0)
+        assert source.is_active(0.0)
+
+    def test_mobile_jammer_rejects_short_paths(self):
+        with pytest.raises(ValueError):
+            MobileJammerScenario(waypoints=((0.0, 0.0),), interference_ratio=0.2)
+
+    def test_node_churn_deterministic_per_seed(self):
+        topology = kiel_testbed()
+        a = NodeChurnScenario(topology=topology, churn_rate=0.3, seed=5)
+        b = NodeChurnScenario(topology=topology, churn_rate=0.3, seed=5)
+        for round_index in (0, 7, 31):
+            assert a.active_sources(round_index) == b.active_sources(round_index)
+
+    def test_node_churn_coordinator_never_fails(self):
+        topology = kiel_testbed()
+        scenario = NodeChurnScenario(topology=topology, churn_rate=0.9, seed=1)
+        for round_index in range(50):
+            assert topology.coordinator in scenario.active_sources(round_index)
+
+    def test_node_churn_actually_churns(self):
+        topology = kiel_testbed()
+        scenario = NodeChurnScenario(topology=topology, churn_rate=0.5, seed=1)
+        counts = {len(scenario.active_sources(r)) for r in range(40)}
+        assert min(counts) < topology.num_nodes  # some nodes go down
