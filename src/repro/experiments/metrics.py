@@ -69,7 +69,7 @@ def summarize_rounds(
     """Aggregate per-round reliability and radio-on series into metrics."""
     if len(reliabilities) != len(radio_on_ms):
         raise ValueError("reliabilities and radio_on_ms must have the same length")
-    if not reliabilities:
+    if len(reliabilities) == 0:
         return ExperimentMetrics(1.0, 0.0, 0.0, 0.0, energy_j, 0)
     rel = np.asarray(reliabilities, dtype=float)
     radio = np.asarray(radio_on_ms, dtype=float)
@@ -99,6 +99,33 @@ def aggregate_experiment_metrics(per_run: Sequence[ExperimentMetrics]) -> Experi
         energy_j=float(np.mean([m.energy_j for m in per_run])),
         rounds=sum(m.rounds for m in per_run),
     )
+
+
+def summarize_round_results(results: Sequence, energy_j: float = 0.0) -> ExperimentMetrics:
+    """Aggregate a list of :class:`~repro.net.lwb.RoundResult` directly.
+
+    The per-round reliability and radio-on aggregates are array-backed
+    properties, so a whole experiment history summarizes without
+    materializing any per-node dict views.
+    """
+    count = len(results)
+    reliabilities = np.fromiter((r.reliability for r in results), dtype=float, count=count)
+    radio_on = np.fromiter((r.average_radio_on_ms for r in results), dtype=float, count=count)
+    return summarize_rounds(reliabilities, radio_on, energy_j=energy_j)
+
+
+def per_node_reliability_matrix(results: Sequence) -> np.ndarray:
+    """Stack per-node reliabilities of many rounds into a (rounds, N) matrix.
+
+    Rows follow ``results`` order, columns the ``node_ids`` of the first
+    round (every round of one simulator covers the same node set).
+    Useful for worst-node analyses over a whole experiment.
+    """
+    if not results:
+        return np.zeros((0, 0))
+    expected = np.stack([r.packets_expected_array for r in results])
+    received = np.stack([r.packets_received_array for r in results])
+    return np.divide(received, expected, out=np.ones_like(expected, dtype=float), where=expected > 0)
 
 
 def summarize_protocol_history(history: Iterable, energy_j: float = 0.0) -> ExperimentMetrics:

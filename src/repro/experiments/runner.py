@@ -485,6 +485,37 @@ def run_dcube_point(
     }
 
 
+@register_experiment("trace_episode")
+def run_trace_episode(
+    seed: int = 0,
+    topology: Optional[Mapping[str, Any]] = None,
+    n_tx: int = 3,
+    episode: Sequence[Sequence[float]] = (),
+    ambient_rate: float = 0.02,
+    round_period_s: float = 4.0,
+    interference_seed: int = 0,
+) -> Dict[str, Any]:
+    """One (episode, N_TX) slice of the trace collection.
+
+    ``TraceRecorder`` fans its ``N_max + 1`` lock-stepped simulators out
+    as one of these tasks per retransmission parameter; ``seed`` is the
+    episode seed shared by all simulators of the decision point.
+    """
+    from repro.rl.trace_env import record_episode_for_n_tx
+
+    topo = build_topology(topology or {"kind": "kiel"})
+    records = record_episode_for_n_tx(
+        topo,
+        int(n_tx),
+        [(int(rounds), float(ratio)) for rounds, ratio in episode],
+        ambient_rate,
+        round_period_s,
+        episode_seed=seed,
+        interference_seed=int(interference_seed),
+    )
+    return {"records": records}
+
+
 @register_experiment("mobile_jammer_run")
 def run_mobile_jammer_task(
     seed: int = 0,
@@ -510,16 +541,12 @@ def run_mobile_jammer_task(
             round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
         ),
     )
-    reliability: List[float] = []
-    radio_on: List[float] = []
     for _ in range(rounds):
         simulator.set_interference(scenario.interference_at(simulator.time_ms / 1000.0))
-        result = simulator.run_round(n_tx=n_tx)
-        reliability.append(result.reliability)
-        radio_on.append(result.average_radio_on_ms)
-    from repro.experiments.metrics import summarize_rounds
+        simulator.run_round(n_tx=n_tx)
+    from repro.experiments.metrics import summarize_round_results
 
-    return summarize_rounds(reliability, radio_on).as_dict()
+    return summarize_round_results(simulator.round_history).as_dict()
 
 
 @register_experiment("node_churn_run")
@@ -552,18 +579,14 @@ def run_node_churn_task(
             round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
         ),
     )
-    reliability: List[float] = []
-    radio_on: List[float] = []
     active_counts: List[int] = []
     for round_index in range(rounds):
         sources = scenario.active_sources(round_index)
         active_counts.append(len(sources))
         simulator.set_sources(sources)
-        result = simulator.run_round(n_tx=n_tx)
-        reliability.append(result.reliability)
-        radio_on.append(result.average_radio_on_ms)
-    from repro.experiments.metrics import summarize_rounds
+        simulator.run_round(n_tx=n_tx)
+    from repro.experiments.metrics import summarize_round_results
 
-    summary = summarize_rounds(reliability, radio_on).as_dict()
+    summary = summarize_round_results(simulator.round_history).as_dict()
     summary["average_active_sources"] = float(np.mean(active_counts))
     return summary

@@ -10,7 +10,9 @@ power model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.net.radio import RadioModel
 
@@ -58,6 +60,70 @@ class RadioOnTracker:
         self._recent_ms.clear()
 
 
+class RadioOnLedger:
+    """Array-backed radio-on accounting for a whole network at once.
+
+    The vectorized twin of one :class:`RadioOnTracker` per node: lifetime
+    totals and the bounded recent window live in NumPy arrays aligned
+    with ``node_ids``, so recording a full round is a couple of vector
+    operations instead of ``nodes x slots`` Python calls.  All slots of
+    one :meth:`record_round` call share the same per-slot value per node
+    — exactly how the round engine accounts radio-on time.
+    """
+
+    def __init__(self, node_ids: Sequence[int], window: int = 8) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.node_ids = tuple(node_ids)
+        self.window = window
+        n = len(self.node_ids)
+        self.total_ms = np.zeros(n)
+        self.slot_count = 0
+        #: Ring buffer of the last ``window`` per-slot values per node.
+        self._recent = np.zeros((window, n))
+        self._recent_len = 0
+        self._cursor = 0
+
+    def record_round(self, per_slot_ms: np.ndarray, num_slots: int) -> None:
+        """Record ``num_slots`` slots, each costing ``per_slot_ms`` per node."""
+        per_slot_ms = np.asarray(per_slot_ms, dtype=float)
+        if per_slot_ms.shape != (len(self.node_ids),):
+            raise ValueError("per_slot_ms must have one entry per node")
+        if (per_slot_ms < 0).any():
+            raise ValueError("radio_on_ms must be non-negative")
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        self.total_ms += per_slot_ms * num_slots
+        self.slot_count += num_slots
+        fill = min(num_slots, self.window)
+        rows = (self._cursor + np.arange(fill)) % self.window
+        self._recent[rows] = per_slot_ms
+        self._cursor = (self._cursor + fill) % self.window
+        self._recent_len = min(self.window, self._recent_len + num_slots)
+
+    @property
+    def recent_average_ms(self) -> np.ndarray:
+        """Per-node radio-on time averaged over the last ``window`` slots."""
+        if self._recent_len == 0:
+            return np.zeros(len(self.node_ids))
+        return self._recent[: self._recent_len].mean(axis=0)
+
+    @property
+    def lifetime_average_ms(self) -> np.ndarray:
+        """Per-node radio-on time averaged over every slot ever recorded."""
+        if self.slot_count == 0:
+            return np.zeros(len(self.node_ids))
+        return self.total_ms / self.slot_count
+
+    def reset(self) -> None:
+        """Forget all accumulated accounting."""
+        self.total_ms[:] = 0.0
+        self.slot_count = 0
+        self._recent[:] = 0.0
+        self._recent_len = 0
+        self._cursor = 0
+
+
 @dataclass
 class EnergyModel:
     """Converts accumulated radio-on time into energy figures.
@@ -82,12 +148,29 @@ class EnergyModel:
         """Lifetime energy of one node in joules."""
         return self.radio.radio_on_energy_mj(tracker.total_ms, self.tx_fraction) / 1000.0
 
-    def network_energy_j(self, trackers: Dict[int, RadioOnTracker]) -> float:
-        """Total energy across all nodes in joules (the Fig. 7b metric)."""
+    def network_energy_j(
+        self, trackers: Union[Dict[int, RadioOnTracker], RadioOnLedger]
+    ) -> float:
+        """Total energy across all nodes in joules (the Fig. 7b metric).
+
+        Accepts either the per-node tracker dict or a
+        :class:`RadioOnLedger`; the energy model is linear in radio-on
+        time, so the ledger total converts in one call.
+        """
+        if isinstance(trackers, RadioOnLedger):
+            total_ms = float(trackers.total_ms.sum())
+            return self.radio.radio_on_energy_mj(total_ms, self.tx_fraction) / 1000.0
         return sum(self.node_energy_j(tracker) for tracker in trackers.values())
 
-    def network_average_radio_on_ms(self, trackers: Dict[int, RadioOnTracker]) -> float:
+    def network_average_radio_on_ms(
+        self, trackers: Union[Dict[int, RadioOnTracker], RadioOnLedger]
+    ) -> float:
         """Average per-slot radio-on time across all nodes and slots."""
+        if isinstance(trackers, RadioOnLedger):
+            slots = trackers.slot_count * len(trackers.node_ids)
+            if slots == 0:
+                return 0.0
+            return float(trackers.total_ms.sum()) / slots
         total_ms = sum(t.total_ms for t in trackers.values())
         slots = sum(t.slot_count for t in trackers.values())
         if slots == 0:

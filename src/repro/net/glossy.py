@@ -19,8 +19,8 @@ phase, how many times it transmitted, and how long its radio stayed on
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from collections.abc import Mapping as MappingABC
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,59 +31,252 @@ from repro.net.radio import RadioModel
 from repro.net.topology import Topology
 
 
-@dataclass(frozen=True)
 class FloodResult:
     """Outcome of one Glossy flood (one slot).
+
+    Per-node observables are array-backed: they live in NumPy vectors
+    aligned with :attr:`node_ids`, which is what lets a full LWB round
+    aggregate flood outcomes without per-node Python loops.  The dict
+    attributes of the original API — ``received``, ``reception_phase``,
+    ``transmissions``, ``radio_on_ms`` — are kept as *lazy views*
+    materialized on first access (and cached, so in-place edits through
+    a view stay visible to the aggregate properties).
+
+    Results can equivalently be built from per-node dicts (the scalar
+    reference engine does); the arrays are then materialized lazily.
 
     Attributes
     ----------
     initiator:
         Node that originated the flood.
-    received:
-        Per-node flag: did the node decode the packet at least once?
-    reception_phase:
-        Phase index of the first successful reception (``None`` if the
-        node never received; 0 for the initiator itself).
-    transmissions:
-        Number of times each node transmitted the packet.
-    radio_on_ms:
-        Radio-on time of each node during the slot.
+    node_ids:
+        Participating nodes, in array index order.
+    received_array, reception_phase_array, transmissions_array, radio_on_array:
+        Per-node observables in :attr:`node_ids` order.  A reception
+        phase of ``-1`` encodes "never received" (``None`` in the dict
+        view).
+    received, reception_phase, transmissions, radio_on_ms:
+        Dict views of the same observables, keyed by node id.
     slot_duration_ms:
         Slot length the flood was executed in.
     channel:
         Channel the flood was executed on.
     """
 
-    initiator: int
-    received: Dict[int, bool]
-    reception_phase: Dict[int, Optional[int]]
-    transmissions: Dict[int, int]
-    radio_on_ms: Dict[int, float]
-    slot_duration_ms: float
-    channel: int
+    __slots__ = (
+        "initiator",
+        "node_ids",
+        "slot_duration_ms",
+        "channel",
+        "_received_arr",
+        "_phase_arr",
+        "_tx_arr",
+        "_radio_arr",
+        "_received_map",
+        "_phase_map",
+        "_tx_map",
+        "_radio_map",
+    )
 
+    def __init__(
+        self,
+        initiator: int,
+        received: Union[Mapping[int, bool], np.ndarray],
+        reception_phase: Union[Mapping[int, Optional[int]], np.ndarray],
+        transmissions: Union[Mapping[int, int], np.ndarray],
+        radio_on_ms: Union[Mapping[int, float], np.ndarray],
+        slot_duration_ms: float,
+        channel: int,
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.initiator = initiator
+        self.slot_duration_ms = slot_duration_ms
+        self.channel = channel
+        if isinstance(received, MappingABC):
+            self.node_ids = tuple(received)
+            self._received_map = received if isinstance(received, dict) else dict(received)
+            self._phase_map = (
+                reception_phase if isinstance(reception_phase, dict) else dict(reception_phase)
+            )
+            self._tx_map = transmissions if isinstance(transmissions, dict) else dict(transmissions)
+            self._radio_map = radio_on_ms if isinstance(radio_on_ms, dict) else dict(radio_on_ms)
+            self._received_arr = None
+            self._phase_arr = None
+            self._tx_arr = None
+            self._radio_arr = None
+        else:
+            if node_ids is None:
+                raise ValueError("node_ids is required for array-backed construction")
+            self.node_ids = tuple(node_ids)
+            self._received_arr = np.asarray(received, dtype=bool)
+            self._phase_arr = np.asarray(reception_phase, dtype=np.int64)
+            self._tx_arr = np.asarray(transmissions, dtype=np.int64)
+            self._radio_arr = np.asarray(radio_on_ms, dtype=float)
+            self._received_map = None
+            self._phase_map = None
+            self._tx_map = None
+            self._radio_map = None
+
+    # ------------------------------------------------------------------
+    # Array accessors
+    # ------------------------------------------------------------------
+    @property
+    def received_array(self) -> np.ndarray:
+        """Per-node reception flags in :attr:`node_ids` order."""
+        if self._received_arr is None:
+            self._received_arr = np.fromiter(
+                (bool(self._received_map[n]) for n in self.node_ids),
+                dtype=bool,
+                count=len(self.node_ids),
+            )
+        return self._received_arr
+
+    @property
+    def reception_phase_array(self) -> np.ndarray:
+        """Per-node first-reception phases (``-1`` = never received)."""
+        if self._phase_arr is None:
+            self._phase_arr = np.fromiter(
+                (
+                    -1 if self._phase_map[n] is None else int(self._phase_map[n])
+                    for n in self.node_ids
+                ),
+                dtype=np.int64,
+                count=len(self.node_ids),
+            )
+        return self._phase_arr
+
+    @property
+    def transmissions_array(self) -> np.ndarray:
+        """Per-node transmission counts in :attr:`node_ids` order."""
+        if self._tx_arr is None:
+            self._tx_arr = np.fromiter(
+                (int(self._tx_map[n]) for n in self.node_ids),
+                dtype=np.int64,
+                count=len(self.node_ids),
+            )
+        return self._tx_arr
+
+    @property
+    def radio_on_array(self) -> np.ndarray:
+        """Per-node radio-on times in :attr:`node_ids` order."""
+        if self._radio_arr is None:
+            self._radio_arr = np.fromiter(
+                (float(self._radio_map[n]) for n in self.node_ids),
+                dtype=float,
+                count=len(self.node_ids),
+            )
+        return self._radio_arr
+
+    # ------------------------------------------------------------------
+    # Dict views (API-compatibility shims)
+    # ------------------------------------------------------------------
+    @property
+    def received(self) -> Dict[int, bool]:
+        """Per-node flag: did the node decode the packet at least once?"""
+        if self._received_map is None:
+            self._received_map = dict(zip(self.node_ids, self._received_arr.tolist()))
+        return self._received_map
+
+    @property
+    def reception_phase(self) -> Dict[int, Optional[int]]:
+        """Phase index of the first successful reception (``None`` = never)."""
+        if self._phase_map is None:
+            self._phase_map = {
+                node: (phase if phase >= 0 else None)
+                for node, phase in zip(self.node_ids, self._phase_arr.tolist())
+            }
+        return self._phase_map
+
+    @property
+    def transmissions(self) -> Dict[int, int]:
+        """Number of times each node transmitted the packet."""
+        if self._tx_map is None:
+            self._tx_map = dict(zip(self.node_ids, self._tx_arr.tolist()))
+        return self._tx_map
+
+    @property
+    def radio_on_ms(self) -> Dict[int, float]:
+        """Radio-on time of each node during the slot."""
+        if self._radio_map is None:
+            self._radio_map = dict(zip(self.node_ids, self._radio_arr.tolist()))
+        return self._radio_map
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
     @property
     def reliability(self) -> float:
         """Fraction of non-initiator participants that received the packet."""
-        destinations = [n for n in self.received if n != self.initiator]
-        if not destinations:
+        if self._received_map is not None:
+            # Dict views are the mutable face of the result (tests patch
+            # receptions in place), so they win once materialized.
+            destinations = [n for n in self._received_map if n != self.initiator]
+            if not destinations:
+                return 1.0
+            return sum(1 for n in destinations if self._received_map[n]) / len(destinations)
+        arr = self._received_arr
+        try:
+            initiator_pos = self.node_ids.index(self.initiator)
+        except ValueError:
+            # The initiator is not among the participants (an empty slot
+            # whose source missed the schedule): every node counts as a
+            # destination, matching the dict formula above.
+            if arr.shape[0] == 0:
+                return 1.0
+            return int(arr.sum()) / arr.shape[0]
+        if arr.shape[0] <= 1:
             return 1.0
-        return sum(1 for n in destinations if self.received[n]) / len(destinations)
+        initiator_ok = bool(arr[initiator_pos])
+        return (int(arr.sum()) - initiator_ok) / (arr.shape[0] - 1)
 
     @property
     def average_radio_on_ms(self) -> float:
         """Radio-on time averaged over every participant."""
-        if not self.radio_on_ms:
+        if self._radio_map is not None:
+            if not self._radio_map:
+                return 0.0
+            return sum(self._radio_map.values()) / len(self._radio_map)
+        if self._radio_arr.shape[0] == 0:
             return 0.0
-        return sum(self.radio_on_ms.values()) / len(self.radio_on_ms)
+        return float(self._radio_arr.mean())
 
     def receivers(self) -> List[int]:
         """Sorted list of nodes that successfully received the packet."""
-        return sorted(n for n, ok in self.received.items() if ok)
+        if self._received_map is not None:
+            return sorted(n for n, ok in self._received_map.items() if ok)
+        return sorted(np.asarray(self.node_ids)[self._received_arr].tolist())
 
     def non_receivers(self) -> List[int]:
         """Sorted list of nodes that never received the packet."""
-        return sorted(n for n, ok in self.received.items() if not ok)
+        if self._received_map is not None:
+            return sorted(n for n, ok in self._received_map.items() if not ok)
+        return sorted(np.asarray(self.node_ids)[~self._received_arr].tolist())
+
+    @classmethod
+    def empty(
+        cls,
+        initiator: int,
+        node_ids: Sequence[int],
+        slot_duration_ms: float,
+        channel: int,
+        radio_on_ms: float = 0.0,
+    ) -> "FloodResult":
+        """A flood in which nothing was received or transmitted.
+
+        Used for slots whose source missed the schedule: every listed
+        node idles for ``radio_on_ms`` and nobody decodes anything.
+        """
+        n = len(node_ids)
+        return cls(
+            initiator=initiator,
+            received=np.zeros(n, dtype=bool),
+            reception_phase=np.full(n, -1, dtype=np.int64),
+            transmissions=np.zeros(n, dtype=np.int64),
+            radio_on_ms=np.full(n, float(radio_on_ms)),
+            slot_duration_ms=slot_duration_ms,
+            channel=channel,
+            node_ids=node_ids,
+        )
 
 
 #: Flood engine implementations selectable via ``SimulatorConfig.engine``.
@@ -126,22 +319,30 @@ class GlossyFlood:
         self.radio = radio if radio is not None else RadioModel()
         self.rng = rng if rng is not None else np.random.default_rng()
         self.engine = engine
-        #: Node coordinates in ``LinkModel.prr_matrix`` index order, used
-        #: for batched interference-penalty evaluation.
+        #: Node ids in ``LinkModel.prr_matrix`` index order.
+        self.node_ids: Tuple[int, ...] = tuple(topology.node_ids)
+        self._ids_arr = np.array(self.node_ids, dtype=np.int64)
+        self._n = len(self.node_ids)
+        #: Node coordinates in matrix index order, used for batched
+        #: interference-penalty evaluation.
         self._coords = np.array(
-            [topology.positions[node] for node in topology.node_ids], dtype=float
+            [topology.positions[node] for node in self.node_ids], dtype=float
         )
 
     def _normalize_n_tx(
         self,
-        n_tx: Union[int, Mapping[int, int]],
+        n_tx: Union[int, Mapping[int, int], np.ndarray],
         participants: Sequence[int],
     ) -> Dict[int, int]:
         """Expand a global N_TX value into a per-node mapping."""
-        if isinstance(n_tx, int):
+        if isinstance(n_tx, (int, np.integer)):
             if n_tx < 0:
                 raise ValueError("n_tx must be non-negative")
-            return {node: n_tx for node in participants}
+            return {node: int(n_tx) for node in participants}
+        if isinstance(n_tx, np.ndarray):
+            index = self.link_model.node_index
+            vec = self._n_tx_vector(n_tx, None, None)
+            return {node: int(vec[index[node]]) for node in participants}
         per_node = {}
         for node in participants:
             value = n_tx.get(node, 0)
@@ -150,15 +351,56 @@ class GlossyFlood:
             per_node[node] = value
         return per_node
 
+    def _n_tx_vector(
+        self,
+        n_tx: Union[int, Mapping[int, int], np.ndarray],
+        part_mask: Optional[np.ndarray],
+        part_list: Optional[List[int]],
+    ) -> np.ndarray:
+        """Expand N_TX into a per-node vector in matrix index order.
+
+        Non-participant entries are zeroed; they are never consumed by
+        the engine, but zeroing keeps the vector meaning unambiguous.
+        """
+        index = self.link_model.node_index
+        if isinstance(n_tx, (int, np.integer)):
+            if n_tx < 0:
+                raise ValueError("n_tx must be non-negative")
+            if part_mask is None:
+                return np.full(self._n, int(n_tx), dtype=np.int64)
+            return np.where(part_mask, np.int64(n_tx), np.int64(0))
+        if isinstance(n_tx, np.ndarray):
+            vec = np.asarray(n_tx, dtype=np.int64)
+            if vec.shape != (self._n,):
+                raise ValueError("per-node n_tx vector must have one entry per node")
+            if (vec < 0).any():
+                raise ValueError("n_tx must be non-negative")
+            if part_mask is None:
+                return vec.copy()
+            return np.where(part_mask, vec, np.int64(0))
+        vec = np.zeros(self._n, dtype=np.int64)
+        if part_list is None:
+            part_list = (
+                list(self.node_ids)
+                if part_mask is None
+                else self._ids_arr[part_mask].tolist()
+            )
+        for node in part_list:
+            value = n_tx.get(node, 0)
+            if value < 0:
+                raise ValueError("n_tx must be non-negative")
+            vec[index[node]] = value
+        return vec
+
     def run(
         self,
         initiator: int,
-        n_tx: Union[int, Mapping[int, int]] = 3,
+        n_tx: Union[int, Mapping[int, int], np.ndarray] = 3,
         packet_bytes: int = DEFAULT_PACKET_BYTES,
         channel: int = 26,
         start_ms: float = 0.0,
         interference: Optional[InterferenceSource] = None,
-        participants: Optional[Sequence[int]] = None,
+        participants: Optional[Union[Sequence[int], np.ndarray]] = None,
         max_slot_ms: Optional[float] = None,
     ) -> FloodResult:
         """Simulate one Glossy flood and return its outcome.
@@ -168,9 +410,10 @@ class GlossyFlood:
         initiator:
             The node that starts the flood (owns the data slot).
         n_tx:
-            Either a single retransmission count applied to every node,
-            or a per-node mapping (the forwarder-selection case, where
-            passive receivers use 0).  The initiator always transmits at
+            A single retransmission count applied to every node, a
+            per-node mapping (the forwarder-selection case, where
+            passive receivers use 0), or a per-node int vector in
+            topology index order.  The initiator always transmits at
             least once, otherwise no flood would take place.
         packet_bytes:
             Total wire size of the flooded packet.
@@ -182,30 +425,68 @@ class GlossyFlood:
         interference:
             Interference source (defaults to none).
         participants:
-            Nodes taking part in the slot (defaults to every node);
-            non-participants keep their radio off and cannot receive.
+            Nodes taking part in the slot: a sequence of node ids or a
+            boolean mask in topology index order (defaults to every
+            node); non-participants keep their radio off and cannot
+            receive.
         max_slot_ms:
             Slot length; the flood is truncated when it runs out of slot.
         """
+        index = self.link_model.node_index
+        part_mask: Optional[np.ndarray] = None
+        part_list: Optional[List[int]] = None
         if participants is None:
-            participants = self.topology.node_ids
-        participants = list(participants)
-        if initiator not in participants:
-            raise ValueError(f"initiator {initiator} is not among the participants")
+            if initiator not in index:
+                raise ValueError(f"initiator {initiator} is not among the participants")
+        elif isinstance(participants, np.ndarray) and participants.dtype == np.bool_:
+            part_mask = participants
+            if part_mask.shape != (self._n,):
+                raise ValueError("participant mask must have one entry per node")
+            if not part_mask[index[initiator]]:
+                raise ValueError(f"initiator {initiator} is not among the participants")
+            if bool(part_mask.all()):
+                part_mask = None  # full participation: use the fast path
+        else:
+            part_list = list(participants)
+            if initiator not in part_list:
+                raise ValueError(f"initiator {initiator} is not among the participants")
+            part_mask = np.zeros(self._n, dtype=bool)
+            for node in part_list:
+                part_mask[index[node]] = True
         interference = interference if interference is not None else NoInterference()
         slot_ms = max_slot_ms if max_slot_ms is not None else self.radio.max_slot_ms
-
-        per_node_n_tx = self._normalize_n_tx(n_tx, participants)
-        # The initiator must transmit at least once for the flood to exist.
-        per_node_n_tx[initiator] = max(1, per_node_n_tx[initiator])
 
         phase_ms = self.radio.phase_duration_ms(packet_bytes)
         num_phases = max(1, int(math.floor(slot_ms / phase_ms)))
 
-        runner = self._run_vectorized if self.engine == "vectorized" else self._run_scalar
-        return runner(
+        if self.engine == "vectorized":
+            n_tx_vec = self._n_tx_vector(n_tx, part_mask, part_list)
+            init_idx = index[initiator]
+            n_tx_vec[init_idx] = max(1, n_tx_vec[init_idx])
+            return self._run_vectorized(
+                initiator=initiator,
+                part_mask=part_mask,
+                n_tx_vec=n_tx_vec,
+                channel=channel,
+                start_ms=start_ms,
+                interference=interference,
+                slot_ms=slot_ms,
+                phase_ms=phase_ms,
+                num_phases=num_phases,
+            )
+
+        if part_list is None:
+            part_list = (
+                list(self.node_ids)
+                if part_mask is None
+                else self._ids_arr[part_mask].tolist()
+            )
+        per_node_n_tx = self._normalize_n_tx(n_tx, part_list)
+        # The initiator must transmit at least once for the flood to exist.
+        per_node_n_tx[initiator] = max(1, per_node_n_tx[initiator])
+        return self._run_scalar(
             initiator=initiator,
-            participants=participants,
+            participants=part_list,
             per_node_n_tx=per_node_n_tx,
             channel=channel,
             start_ms=start_ms,
@@ -255,7 +536,6 @@ class GlossyFlood:
                 if node not in transmitters and off_after_phase[node] is None
             ]
             phase_start = start_ms + phase * phase_ms
-            newly_received: List[int] = []
             if transmitters:
                 for node in listeners:
                     penalty = interference.penalty(
@@ -268,7 +548,6 @@ class GlossyFlood:
                         if not received[node]:
                             received[node] = True
                             reception_phase[node] = phase
-                            newly_received.append(node)
                         # Glossy re-synchronizes on every reception: schedule
                         # (or re-arm) the next transmission for the following
                         # phase if the node still has transmissions left.
@@ -321,8 +600,8 @@ class GlossyFlood:
     def _run_vectorized(
         self,
         initiator: int,
-        participants: List[int],
-        per_node_n_tx: Dict[int, int],
+        part_mask: Optional[np.ndarray],
+        n_tx_vec: np.ndarray,
         channel: int,
         start_ms: float,
         interference: InterferenceSource,
@@ -334,18 +613,16 @@ class GlossyFlood:
 
         State lives in per-node vectors aligned with the
         :meth:`~repro.net.link.LinkModel.prr_matrix` index order; every
-        phase draws all reception outcomes in one batched RNG call.  The
-        per-phase logic mirrors :meth:`_run_scalar` exactly — only the
-        RNG consumption pattern differs, so results are statistically
-        (not bit-for-bit) identical under a fixed seed.
+        phase draws all reception outcomes in one batched RNG call, and
+        the interference penalties of the whole slot are precomputed as
+        one :meth:`~repro.net.interference.InterferenceSource.penalty_timeline`
+        before the phase loop.  The per-phase logic mirrors
+        :meth:`_run_scalar` exactly — only the RNG consumption pattern
+        differs, so results are statistically (not bit-for-bit)
+        identical under a fixed seed.
         """
         index = self.link_model.node_index
-        n_all = len(index)
-        part_mask = np.zeros(n_all, dtype=bool)
-        n_tx_vec = np.zeros(n_all, dtype=np.int64)
-        for node in participants:
-            part_mask[index[node]] = True
-            n_tx_vec[index[node]] = per_node_n_tx[node]
+        n_all = self._n
 
         received = np.zeros(n_all, dtype=bool)
         reception_phase = np.full(n_all, -1, dtype=np.int64)
@@ -364,59 +641,71 @@ class GlossyFlood:
         link_failure = self.link_model._failure_matrix
         boost_factor = 1.0 + self.link_model.capture_boost
         no_interference = isinstance(interference, NoInterference)
-        passive = n_tx_vec == 0
-
-        on_air = part_mask.copy()  # participants whose radio is still on
+        if not no_interference:
+            # The whole slot's burst-overlap timeline in one evaluation,
+            # instead of one penalty_batch call per phase.
+            penalty_timeline = interference.penalty_timeline(
+                self._coords, start_ms, phase_ms, num_phases, channel
+            )
+        # Participants whose radio is still on.
+        on_air = np.ones(n_all, dtype=bool) if part_mask is None else part_mask.copy()
         for phase in range(num_phases):
-            transmit = (next_tx == phase) & on_air
+            # An armed node is always still on air (arming requires the
+            # radio on, and armed nodes neither spend out nor finish
+            # before their transmission), so the schedule alone decides.
+            transmit = next_tx == phase
             tx_indices = transmit.nonzero()[0]
             num_tx = len(tx_indices)
-            if num_tx:
-                # Inlined LinkModel.reception_probabilities (the method
-                # itself stays the reference for property tests): the
-                # reception fails only if every non-self link fails, with
-                # the capture boost rewarding >1 synchronized senders.
-                if num_tx == 1:
-                    probabilities = prr[tx_indices[0]]
-                else:
-                    # Values at transmitter indices diverge from the
-                    # reference method (no per-transmitter boost
-                    # exception) but are never consumed: transmitters
-                    # are masked out of ``success`` below.
-                    probabilities = 1.0 - link_failure[tx_indices].prod(axis=0)
-                    probabilities *= boost_factor
-                    np.minimum(probabilities, 1.0, out=probabilities)
-                if not no_interference:
-                    penalties = interference.penalty_batch(
-                        self._coords, start_ms + phase * phase_ms, phase_ms, channel
-                    )
-                    probabilities = probabilities * (1.0 - penalties)
-                # Transmitters cannot listen; a draw >= probability fails.
-                success = (draws[phase] < probabilities) & on_air & ~transmit
-                newly = success & ~received
-                received |= newly
-                reception_phase[newly] = phase
-                # Glossy re-synchronizes on every reception: (re-)arm the
-                # next transmission if the node has transmissions left.
-                rearm = success & (transmissions < n_tx_vec) & (next_tx < 0)
-                next_tx[rearm] = phase + 1
+            if not num_tx:
+                # Nobody transmits: no state can change this phase, and
+                # the pending-transmission check below already ran after
+                # the last state change, so skip straight ahead.
+                continue
+            # Inlined LinkModel.reception_probabilities (the method
+            # itself stays the reference for property tests): the
+            # reception fails only if every non-self link fails, with
+            # the capture boost rewarding >1 synchronized senders.
+            if num_tx == 1:
+                probabilities = prr[tx_indices[0]]
+            else:
+                # Values at transmitter indices diverge from the
+                # reference method (no per-transmitter boost
+                # exception) but are never consumed: transmitters
+                # are masked out of ``success`` below.
+                probabilities = 1.0 - link_failure[tx_indices].prod(axis=0)
+                probabilities *= boost_factor
+                np.minimum(probabilities, 1.0, out=probabilities)
+            if not no_interference:
+                probabilities = probabilities * (1.0 - penalty_timeline[phase])
+            # Transmitters cannot listen (transmit is a subset of
+            # on_air, so the XOR is exactly "on air and not sending");
+            # a draw >= probability fails.
+            success = (draws[phase] < probabilities) & (on_air ^ transmit)
+            newly = success & ~received
+            received |= newly
+            reception_phase[newly] = phase
+            # Glossy re-synchronizes on every reception: (re-)arm the
+            # next transmission if the node has transmissions left.
+            rearm = success & (transmissions < n_tx_vec) & (next_tx < 0)
+            next_tx[rearm] = phase + 1
 
-                transmissions[tx_indices] += 1
-                spent = transmit & (transmissions >= n_tx_vec)
-                again = transmit & ~spent
-                next_tx[again] = phase + 2  # listen next phase, send after
-                next_tx[spent] = -1
-                off_after[spent] = phase + 1
-                on_air &= ~spent
+            transmissions[tx_indices] += 1
+            budget_spent = transmissions >= n_tx_vec
+            spent = transmit & budget_spent
+            again = transmit ^ spent  # spent is a subset of transmit
+            next_tx[again] = phase + 2  # listen next phase, send after
+            next_tx[spent] = -1
+            off_after[spent] = phase + 1
+            on_air ^= spent  # spent is a subset of on_air
 
-            # Passive receivers switch off right after their first
-            # reception, forwarders once their budget is spent.
-            done = on_air & received & (
-                passive | ((transmissions >= n_tx_vec) & (next_tx < 0))
-            )
+            # Receivers with nothing left to send switch off: passive
+            # receivers (N_TX = 0 means their budget is spent from the
+            # start) right after their first reception, forwarders once
+            # their budget is spent and no transmission is armed.
+            done = on_air & received & budget_spent & (next_tx < 0)
             if done.any():
                 off_after[done] = phase + 1
-                on_air &= ~done
+                on_air ^= done  # done is a subset of on_air
 
             if not (next_tx >= 0).any():
                 # No transmission is pending anywhere: no state can change
@@ -428,27 +717,25 @@ class GlossyFlood:
         on_phases = np.where(off_after < 0, num_phases, np.minimum(off_after, num_phases))
         radio_on = np.minimum(slot_ms, on_phases * phase_ms)
 
-        received_list = received.tolist()
-        phase_list = reception_phase.tolist()
-        tx_list = transmissions.tolist()
-        radio_list = radio_on.tolist()
-        received_map: Dict[int, bool] = {}
-        phase_map: Dict[int, Optional[int]] = {}
-        tx_map: Dict[int, int] = {}
-        radio_map: Dict[int, float] = {}
-        for node in participants:
-            i = index[node]
-            received_map[node] = received_list[i]
-            phase_map[node] = phase_list[i] if phase_list[i] >= 0 else None
-            tx_map[node] = tx_list[i]
-            radio_map[node] = radio_list[i]
-
+        if part_mask is None:
+            return FloodResult(
+                initiator=initiator,
+                received=received,
+                reception_phase=reception_phase,
+                transmissions=transmissions,
+                radio_on_ms=radio_on,
+                slot_duration_ms=slot_ms,
+                channel=channel,
+                node_ids=self.node_ids,
+            )
+        rows = np.flatnonzero(part_mask)
         return FloodResult(
             initiator=initiator,
-            received=received_map,
-            reception_phase=phase_map,
-            transmissions=tx_map,
-            radio_on_ms=radio_map,
+            received=received[rows],
+            reception_phase=reception_phase[rows],
+            transmissions=transmissions[rows],
+            radio_on_ms=radio_on[rows],
             slot_duration_ms=slot_ms,
             channel=channel,
+            node_ids=self._ids_arr[rows].tolist(),
         )

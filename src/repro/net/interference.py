@@ -34,15 +34,27 @@ from repro.net.topology import Position
 #: packet burst of 13 ms.
 DEFAULT_BURST_MS = 13.0
 
+#: Largest fraction of a frame a 0 dBm burst may clip while the frame
+#: stays decodable: overlaps at or below this fraction only shave the
+#: frame tail and cost nothing, anything above corrupts the frame.
+#: Shared by the scalar ``penalty`` paths, the batched ``penalty_batch``
+#: implementations and the per-slot ``penalty_timeline`` precompute so
+#: the three formulations can never drift apart.
+BURST_OVERLAP_DECODE_THRESHOLD = 0.1
+
 
 def burst_period_ms(interference_ratio: float, burst_ms: float = DEFAULT_BURST_MS) -> float:
     """Return the burst repetition period for a target interference ratio.
 
     A 10 % interference ratio corresponds to a 13 ms burst every 130 ms,
-    a 35 % ratio to a burst every ~37 ms (cf. §V-A of the paper).
+    a 35 % ratio to a burst every ~37 ms (cf. §V-A of the paper).  A
+    ratio of exactly 0 means "no bursts, ever" — the clean baseline
+    point of the interference sweep — and yields an infinite period.
     """
-    if not 0.0 < interference_ratio <= 1.0:
-        raise ValueError("interference_ratio must be in (0, 1]")
+    if not 0.0 <= interference_ratio <= 1.0:
+        raise ValueError("interference_ratio must be in [0, 1]")
+    if interference_ratio == 0.0:
+        return float("inf")
     return burst_ms / interference_ratio
 
 
@@ -106,6 +118,38 @@ class InterferenceSource(abc.ABC):
             dtype=float,
         )
 
+    def penalty_timeline(
+        self,
+        positions: np.ndarray,
+        start_ms: float,
+        phase_ms: float,
+        num_phases: int,
+        channel: int,
+    ) -> np.ndarray:
+        """Penalties of every (phase, receiver) pair of a slot at once.
+
+        Returns a ``(num_phases, N)`` array whose row ``p`` equals
+        ``penalty_batch(positions, start_ms + p * phase_ms, phase_ms,
+        channel)``.  The vectorized flood engine evaluates this once per
+        flood and indexes rows, instead of re-evaluating
+        :meth:`penalty_batch` in every phase.  The default implementation
+        stacks :meth:`penalty_batch` rows, so any subclass is
+        automatically consistent; the built-in sources override it with
+        formulations that amortize the spatial factors and burst-overlap
+        bookkeeping across the whole slot.
+        """
+        positions = np.asarray(positions, dtype=float)
+        if num_phases <= 0:
+            return np.zeros((0, len(positions)))
+        return np.stack(
+            [
+                self.penalty_batch(
+                    positions, start_ms + phase * phase_ms, phase_ms, channel
+                )
+                for phase in range(num_phases)
+            ]
+        )
+
 
 @dataclass
 class NoInterference(InterferenceSource):
@@ -121,6 +165,16 @@ class NoInterference(InterferenceSource):
         self, positions: np.ndarray, start_ms: float, duration_ms: float, channel: int
     ) -> np.ndarray:
         return np.zeros(len(positions))
+
+    def penalty_timeline(
+        self,
+        positions: np.ndarray,
+        start_ms: float,
+        phase_ms: float,
+        num_phases: int,
+        channel: int,
+    ) -> np.ndarray:
+        return np.zeros((max(0, num_phases), len(positions)))
 
 
 @dataclass
@@ -226,7 +280,7 @@ class BurstJammer(InterferenceSource):
         # corrupts it essentially deterministically at receivers within
         # range (the jammer is as strong as the transmitters); a clip of
         # only a few percent of the frame tail may still be decodable.
-        if overlap <= 0.1:
+        if overlap <= BURST_OVERLAP_DECODE_THRESHOLD:
             return 0.0
         return spatial
 
@@ -244,9 +298,50 @@ class BurstJammer(InterferenceSource):
             return np.zeros(len(positions))
         if self.channels is not None and channel not in self.channels:
             return np.zeros(len(positions))
-        if self.burst_overlap_fraction(start_ms, duration_ms) <= 0.1:
+        if self.burst_overlap_fraction(start_ms, duration_ms) <= BURST_OVERLAP_DECODE_THRESHOLD:
             return np.zeros(len(positions))
         return self._spatial_factor_batch(positions)
+
+    def penalty_timeline(
+        self,
+        positions: np.ndarray,
+        start_ms: float,
+        phase_ms: float,
+        num_phases: int,
+        channel: int,
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        timeline = np.zeros((max(0, num_phases), len(positions)))
+        if num_phases <= 0 or phase_ms <= 0 or self.interference_ratio <= 0.0:
+            return timeline
+        if self.channels is not None and channel not in self.channels:
+            return timeline
+        starts = start_ms + phase_ms * np.arange(num_phases)
+        active = np.ones(num_phases, dtype=bool)
+        if self.start_ms is not None:
+            active &= starts >= self.start_ms
+        if self.end_ms is not None:
+            active &= starts < self.end_ms
+        if not active.any():
+            return timeline
+        # Burst-overlap fractions of every phase window in one shot: the
+        # candidate burst range covers the whole slot, and bursts outside
+        # a given window contribute an exact 0 to its covered sum, so
+        # each row reproduces ``burst_overlap_fraction`` bit for bit.
+        period = self.period_ms
+        origin = (self.start_ms or 0.0) + self.phase_ms
+        ends = starts + phase_ms
+        first_burst = math.floor((starts[0] - origin) / period) - 1
+        last_burst = math.ceil((ends[-1] - origin) / period) + 1
+        burst_starts = origin + period * np.arange(int(first_burst), int(last_burst) + 1)
+        overlap = np.minimum(ends[:, None], burst_starts[None, :] + self.burst_ms)
+        overlap -= np.maximum(starts[:, None], burst_starts[None, :])
+        covered = np.clip(overlap, 0.0, None).sum(axis=1)
+        fraction = np.minimum(1.0, covered / phase_ms)
+        jams = active & (fraction > BURST_OVERLAP_DECODE_THRESHOLD)
+        if jams.any():
+            timeline[jams] = self._spatial_factor_batch(positions)[None, :]
+        return timeline
 
 
 #: D-Cube WiFi interference level presets: burst duty cycle, burst length,
@@ -304,6 +399,9 @@ class WifiInterference(InterferenceSource):
         self.burst_ms = preset["burst_ms"]
         self.spectral_floor = preset["spectral_floor"]
         self.period_ms = self.burst_ms / self.duty_cycle
+        #: Memoized per-period burst offsets; the draw is a pure function
+        #: of (seed, period index), so caching cannot change results.
+        self._burst_offsets: dict = {}
 
     def is_active(self, time_ms: float) -> bool:
         if self.start_ms is not None and time_ms < self.start_ms:
@@ -324,6 +422,17 @@ class WifiInterference(InterferenceSource):
                 best = max(best, 1.0 - (distance - self.range_m) / self.range_m)
         return best
 
+    def _burst_offset(self, period_index: int) -> float:
+        """Jittered burst offset within a period (memoized, deterministic)."""
+        offset = self._burst_offsets.get(period_index)
+        if offset is None:
+            rng = np.random.default_rng((self.seed, period_index))
+            offset = float(rng.uniform(0.0, self.period_ms - self.burst_ms))
+            if len(self._burst_offsets) >= 4096:
+                self._burst_offsets.clear()
+            self._burst_offsets[period_index] = offset
+        return offset
+
     def _burst_active(self, start_ms: float, duration_ms: float) -> float:
         """Pseudo-random burst occupancy of the window, seeded per period."""
         if duration_ms <= 0:
@@ -334,10 +443,7 @@ class WifiInterference(InterferenceSource):
         for index in (period_index, period_index - 1):
             if index < 0:
                 continue
-            rng = np.random.default_rng((self.seed, index))
-            # Within each period, the burst starts at a jittered offset.
-            offset = float(rng.uniform(0.0, self.period_ms - self.burst_ms))
-            burst_start = index * self.period_ms + offset
+            burst_start = index * self.period_ms + self._burst_offset(index)
             overlap += _interval_overlap(
                 start_ms, start_ms + duration_ms, burst_start, burst_start + self.burst_ms
             )
@@ -354,7 +460,7 @@ class WifiInterference(InterferenceSource):
         if spatial <= 0.0:
             return 0.0
         overlap = self._burst_active(start_ms, duration_ms)
-        if overlap <= 0.1:
+        if overlap <= BURST_OVERLAP_DECODE_THRESHOLD:
             return 0.0
         return min(1.0, spectral * spatial)
 
@@ -382,9 +488,42 @@ class WifiInterference(InterferenceSource):
         spectral = max(spectral, self.spectral_floor)
         if spectral <= 0.0:
             return np.zeros(len(positions))
-        if self._burst_active(start_ms, duration_ms) <= 0.1:
+        if self._burst_active(start_ms, duration_ms) <= BURST_OVERLAP_DECODE_THRESHOLD:
             return np.zeros(len(positions))
         return np.minimum(1.0, spectral * self._spatial_factor_batch(positions))
+
+    def penalty_timeline(
+        self,
+        positions: np.ndarray,
+        start_ms: float,
+        phase_ms: float,
+        num_phases: int,
+        channel: int,
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        timeline = np.zeros((max(0, num_phases), len(positions)))
+        if num_phases <= 0 or phase_ms <= 0:
+            return timeline
+        spectral = max(wifi_overlap(channel, wifi) for wifi in self.wifi_channels)
+        spectral = max(spectral, self.spectral_floor)
+        if spectral <= 0.0:
+            return timeline
+        starts = start_ms + phase_ms * np.arange(num_phases)
+        active = np.ones(num_phases, dtype=bool)
+        if self.start_ms is not None:
+            active &= starts >= self.start_ms
+        if self.end_ms is not None:
+            active &= starts < self.end_ms
+        occupancy = np.fromiter(
+            (self._burst_active(float(s), phase_ms) for s in starts),
+            dtype=float,
+            count=num_phases,
+        )
+        jams = active & (occupancy > BURST_OVERLAP_DECODE_THRESHOLD)
+        if jams.any():
+            base = np.minimum(1.0, spectral * self._spatial_factor_batch(positions))
+            timeline[jams] = base[None, :]
+        return timeline
 
 
 @dataclass
@@ -414,6 +553,9 @@ class AmbientInterference(InterferenceSource):
             raise ValueError("window_ms must be positive")
         if not 0.0 < self.burst_ms <= self.window_ms:
             raise ValueError("burst_ms must be in (0, window_ms]")
+        #: Memoized per-window bursts; each is a pure function of
+        #: (seed, window index), so caching cannot change results.
+        self._window_cache: dict = {}
 
     def is_active(self, time_ms: float) -> bool:
         if self.start_ms is not None and time_ms < self.start_ms:
@@ -426,12 +568,19 @@ class AmbientInterference(InterferenceSource):
         """Burst interval of a window, or ``None`` when the window is clean."""
         if window_index < 0:
             return None
+        if window_index in self._window_cache:
+            return self._window_cache[window_index]
         rng = np.random.default_rng((self.seed, window_index))
         if rng.random() >= self.rate:
-            return None
-        offset = float(rng.uniform(0.0, self.window_ms - self.burst_ms))
-        start = window_index * self.window_ms + offset
-        return start, start + self.burst_ms
+            burst = None
+        else:
+            offset = float(rng.uniform(0.0, self.window_ms - self.burst_ms))
+            start = window_index * self.window_ms + offset
+            burst = (start, start + self.burst_ms)
+        if len(self._window_cache) >= 4096:
+            self._window_cache.clear()
+        self._window_cache[window_index] = burst
+        return burst
 
     def penalty(self, position: Position, start_ms: float, duration_ms: float, channel: int) -> float:
         if not self.is_active(start_ms):
@@ -444,7 +593,7 @@ class AmbientInterference(InterferenceSource):
             if burst is None:
                 continue
             overlap = _interval_overlap(start_ms, end_ms, burst[0], burst[1])
-            if duration_ms > 0 and overlap / duration_ms > 0.1:
+            if duration_ms > 0 and overlap / duration_ms > BURST_OVERLAP_DECODE_THRESHOLD:
                 return 1.0
         return 0.0
 
@@ -455,6 +604,30 @@ class AmbientInterference(InterferenceSource):
         # penalty is position-independent, so one evaluation serves all.
         value = self.penalty((0.0, 0.0), start_ms, duration_ms, channel)
         return np.full(len(positions), value)
+
+    def penalty_timeline(
+        self,
+        positions: np.ndarray,
+        start_ms: float,
+        phase_ms: float,
+        num_phases: int,
+        channel: int,
+    ) -> np.ndarray:
+        # Position-independent: one scalar evaluation per phase serves
+        # every receiver, and the window memo makes the per-phase scalar
+        # lookups O(1) after the first phase touches a window.
+        positions = np.asarray(positions, dtype=float)
+        if num_phases <= 0:
+            return np.zeros((0, len(positions)))
+        values = np.fromiter(
+            (
+                self.penalty((0.0, 0.0), start_ms + phase * phase_ms, phase_ms, channel)
+                for phase in range(num_phases)
+            ),
+            dtype=float,
+            count=num_phases,
+        )
+        return np.repeat(values[:, None], len(positions), axis=1)
 
 
 @dataclass
@@ -484,6 +657,22 @@ class CompositeInterference(InterferenceSource):
         survival = np.ones(len(positions))
         for source in self.sources:
             survival *= 1.0 - source.penalty_batch(positions, start_ms, duration_ms, channel)
+        return 1.0 - survival
+
+    def penalty_timeline(
+        self,
+        positions: np.ndarray,
+        start_ms: float,
+        phase_ms: float,
+        num_phases: int,
+        channel: int,
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        survival = np.ones((max(0, num_phases), len(positions)))
+        for source in self.sources:
+            survival *= 1.0 - source.penalty_timeline(
+                positions, start_ms, phase_ms, num_phases, channel
+            )
         return 1.0 - survival
 
     def is_active(self, time_ms: float) -> bool:

@@ -73,6 +73,7 @@ class LinkModel:
     seed: Optional[int] = None
     _shadowing: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
     _cache: Dict[Tuple[int, int], LinkQuality] = field(default_factory=dict, repr=False)
+    _overrides: Dict[Tuple[int, int], float] = field(default_factory=dict, repr=False)
     _prr_matrix: Optional[np.ndarray] = field(default=None, repr=False)
     _failure_matrix: Optional[np.ndarray] = field(default=None, repr=False)
     _node_index: Dict[int, int] = field(default_factory=dict, repr=False)
@@ -115,13 +116,57 @@ class LinkModel:
             1.0 + math.exp(-(snr_db - PRR_SNR_MIDPOINT_DB) * PRR_SNR_SLOPE_PER_DB)
         )
 
+    def invalidate_caches(self) -> None:
+        """Drop every derived-quality cache (per-link and matrix).
+
+        Call after anything that changes link qualities; the next
+        :meth:`link` / :meth:`prr_matrix` access recomputes from scratch.
+        """
+        self._cache.clear()
+        self._prr_matrix = None
+        self._failure_matrix = None
+
+    def set_link_quality(
+        self, sender: int, receiver: int, prr: float, symmetric: bool = True
+    ) -> None:
+        """Override the PRR of a link (node churn / mobile obstacles).
+
+        Scenario scripts use this to degrade or sever individual links at
+        runtime.  The override invalidates the cached per-link qualities
+        *and* the cached :meth:`prr_matrix`, so both engines see the new
+        quality on their next flood.  Pass ``symmetric=False`` to touch
+        only the ``sender -> receiver`` direction.
+        """
+        if sender not in self._node_index or receiver not in self._node_index:
+            raise ValueError("both link endpoints must be part of the topology")
+        if sender == receiver:
+            raise ValueError("a node has no link to itself")
+        if not 0.0 <= prr <= 1.0:
+            raise ValueError("prr must be in [0, 1]")
+        self._overrides[(sender, receiver)] = prr
+        if symmetric:
+            self._overrides[(receiver, sender)] = prr
+        self.invalidate_caches()
+
+    def clear_link_quality_overrides(self) -> None:
+        """Remove every :meth:`set_link_quality` override."""
+        if self._overrides:
+            self._overrides.clear()
+            self.invalidate_caches()
+
     def link(self, sender: int, receiver: int) -> LinkQuality:
         """Return the static quality of the directed link sender -> receiver."""
         key = (sender, receiver)
         if key in self._cache:
             return self._cache[key]
         distance = self.topology.distance(sender, receiver)
-        if distance > self.topology.comm_range_m:
+        if key in self._overrides:
+            quality = LinkQuality(
+                prr=self._overrides[key],
+                distance_m=distance,
+                rssi_dbm=self.rssi_dbm(sender, receiver),
+            )
+        elif distance > self.topology.comm_range_m:
             quality = LinkQuality(prr=0.0, distance_m=distance, rssi_dbm=-float("inf"))
         else:
             rssi = self.rssi_dbm(sender, receiver)
@@ -171,8 +216,10 @@ class LinkModel:
         ``node_ids[i] -> node_ids[j]`` (see :attr:`node_index` for the
         id -> index mapping) and matches :meth:`prr` element-wise.  The
         diagonal is zero: a node never receives its own transmission.
-        The matrix is computed once and cached; callers must not mutate
-        the returned array.
+        The matrix is cached; callers must not mutate the returned
+        array.  Mutating link qualities through :meth:`set_link_quality`
+        (or calling :meth:`invalidate_caches`) drops the cache, so the
+        next access reflects the new qualities.
         """
         if self._prr_matrix is None:
             ids = self.topology.node_ids
@@ -192,6 +239,8 @@ class LinkModel:
                 1.0 + np.exp(-(snr - PRR_SNR_MIDPOINT_DB) * PRR_SNR_SLOPE_PER_DB)
             )
             prr[distance > self.topology.comm_range_m] = 0.0
+            for (a, b), value in self._overrides.items():
+                prr[self._node_index[a], self._node_index[b]] = value
             np.fill_diagonal(prr, 0.0)
             prr.setflags(write=False)
             self._prr_matrix = prr

@@ -94,32 +94,169 @@ class SlotResult:
         return self.flood.reliability
 
 
-@dataclass
 class RoundResult:
-    """Outcome of a full LWB/Dimmer round."""
+    """Outcome of a full LWB/Dimmer round.
 
-    round_index: int
-    schedule: Schedule
-    start_ms: float
-    control_flood: FloodResult
-    slots: List[SlotResult]
-    synchronized: Dict[int, bool]
-    radio_on_ms: Dict[int, float] = field(default_factory=dict)
-    packets_expected: Dict[int, int] = field(default_factory=dict)
-    packets_received: Dict[int, int] = field(default_factory=dict)
+    Per-node aggregates are array-backed (aligned with
+    :attr:`node_ids`); the dict attributes of the original API —
+    ``synchronized``, ``radio_on_ms``, ``packets_expected``,
+    ``packets_received`` — are lazy views materialized on first access.
+    Results can equivalently be built from per-node dicts.
+    """
 
+    __slots__ = (
+        "round_index",
+        "schedule",
+        "start_ms",
+        "control_flood",
+        "slots",
+        "node_ids",
+        "_sync_arr",
+        "_radio_arr",
+        "_expected_arr",
+        "_received_arr",
+        "_sync_map",
+        "_radio_map",
+        "_expected_map",
+        "_received_map",
+    )
+
+    def __init__(
+        self,
+        round_index: int,
+        schedule: Schedule,
+        start_ms: float,
+        control_flood: FloodResult,
+        slots: List[SlotResult],
+        synchronized: Union[Dict[int, bool], np.ndarray],
+        radio_on_ms: Union[Dict[int, float], np.ndarray, None] = None,
+        packets_expected: Union[Dict[int, int], np.ndarray, None] = None,
+        packets_received: Union[Dict[int, int], np.ndarray, None] = None,
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.round_index = round_index
+        self.schedule = schedule
+        self.start_ms = start_ms
+        self.control_flood = control_flood
+        self.slots = slots
+        if isinstance(synchronized, np.ndarray):
+            if node_ids is None:
+                raise ValueError("node_ids is required for array-backed construction")
+            self.node_ids = tuple(node_ids)
+            n = len(self.node_ids)
+            self._sync_arr = np.asarray(synchronized, dtype=bool)
+            self._radio_arr = (
+                np.zeros(n) if radio_on_ms is None else np.asarray(radio_on_ms, dtype=float)
+            )
+            self._expected_arr = (
+                np.zeros(n, dtype=np.int64)
+                if packets_expected is None
+                else np.asarray(packets_expected, dtype=np.int64)
+            )
+            self._received_arr = (
+                np.zeros(n, dtype=np.int64)
+                if packets_received is None
+                else np.asarray(packets_received, dtype=np.int64)
+            )
+            self._sync_map = None
+            self._radio_map = None
+            self._expected_map = None
+            self._received_map = None
+        else:
+            self.node_ids = tuple(synchronized)
+            self._sync_map = dict(synchronized)
+            self._radio_map = dict(radio_on_ms) if radio_on_ms is not None else {}
+            self._expected_map = dict(packets_expected) if packets_expected is not None else {}
+            self._received_map = dict(packets_received) if packets_received is not None else {}
+            self._sync_arr = None
+            self._radio_arr = None
+            self._expected_arr = None
+            self._received_arr = None
+
+    # ------------------------------------------------------------------
+    # Array accessors
+    # ------------------------------------------------------------------
+    def _from_map(self, mapping: Dict[int, float], dtype) -> np.ndarray:
+        return np.fromiter(
+            (mapping.get(node, 0) for node in self.node_ids),
+            dtype=dtype,
+            count=len(self.node_ids),
+        )
+
+    @property
+    def synchronized_array(self) -> np.ndarray:
+        """Per-node sync flags in :attr:`node_ids` order."""
+        if self._sync_arr is None:
+            self._sync_arr = self._from_map(self._sync_map, bool)
+        return self._sync_arr
+
+    @property
+    def radio_on_array(self) -> np.ndarray:
+        """Per-node whole-round radio-on totals in :attr:`node_ids` order."""
+        if self._radio_arr is None:
+            self._radio_arr = self._from_map(self._radio_map, float)
+        return self._radio_arr
+
+    @property
+    def packets_expected_array(self) -> np.ndarray:
+        """Per-node expected-packet counts in :attr:`node_ids` order."""
+        if self._expected_arr is None:
+            self._expected_arr = self._from_map(self._expected_map, np.int64)
+        return self._expected_arr
+
+    @property
+    def packets_received_array(self) -> np.ndarray:
+        """Per-node received-packet counts in :attr:`node_ids` order."""
+        if self._received_arr is None:
+            self._received_arr = self._from_map(self._received_map, np.int64)
+        return self._received_arr
+
+    # ------------------------------------------------------------------
+    # Dict views (API-compatibility shims)
+    # ------------------------------------------------------------------
+    @property
+    def synchronized(self) -> Dict[int, bool]:
+        """Per-node flag: did the node decode this round's schedule?"""
+        if self._sync_map is None:
+            self._sync_map = dict(zip(self.node_ids, self._sync_arr.tolist()))
+        return self._sync_map
+
+    @property
+    def radio_on_ms(self) -> Dict[int, float]:
+        """Whole-round radio-on time of each node."""
+        if self._radio_map is None:
+            self._radio_map = dict(zip(self.node_ids, self._radio_arr.tolist()))
+        return self._radio_map
+
+    @property
+    def packets_expected(self) -> Dict[int, int]:
+        """Packets each node was scheduled to receive this round."""
+        if self._expected_map is None:
+            self._expected_map = dict(zip(self.node_ids, self._expected_arr.tolist()))
+        return self._expected_map
+
+    @property
+    def packets_received(self) -> Dict[int, int]:
+        """Packets each node actually received this round."""
+        if self._received_map is None:
+            self._received_map = dict(zip(self.node_ids, self._received_arr.tolist()))
+        return self._received_map
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
         """Number of nodes accounted for in this round."""
-        return len(self.synchronized)
+        return len(self.node_ids)
 
     @property
     def reliability(self) -> float:
         """Network-wide reliability: received / expected over all destinations."""
-        expected = sum(self.packets_expected.values())
+        expected = int(self.packets_expected_array.sum())
         if expected == 0:
             return 1.0
-        return sum(self.packets_received.values()) / expected
+        return int(self.packets_received_array.sum()) / expected
 
     @property
     def had_losses(self) -> bool:
@@ -128,27 +265,25 @@ class RoundResult:
 
     def per_node_reliability(self) -> Dict[int, float]:
         """Reliability of each node over this round's data slots."""
-        result = {}
-        for node, expected in self.packets_expected.items():
-            if expected == 0:
-                result[node] = 1.0
-            else:
-                result[node] = self.packets_received[node] / expected
-        return result
+        expected = self.packets_expected_array
+        received = self.packets_received_array
+        values = np.divide(
+            received, expected, out=np.ones(len(self.node_ids)), where=expected > 0
+        )
+        return dict(zip(self.node_ids, values.tolist()))
 
     @property
     def average_radio_on_ms(self) -> float:
         """Radio-on time per slot, averaged over all nodes and slots of the round."""
         num_slots = len(self.slots) + 1  # control slot included
-        if not self.radio_on_ms or num_slots == 0:
+        if len(self.node_ids) == 0 or num_slots == 0:
             return 0.0
-        per_node = [total / num_slots for total in self.radio_on_ms.values()]
-        return float(np.mean(per_node))
+        return float(self.radio_on_array.mean()) / num_slots
 
     def per_node_radio_on_ms(self) -> Dict[int, float]:
         """Per-slot radio-on time of each node, averaged over this round."""
         num_slots = len(self.slots) + 1
-        return {node: total / num_slots for node, total in self.radio_on_ms.items()}
+        return dict(zip(self.node_ids, (self.radio_on_array / num_slots).tolist()))
 
 
 #: Alias kept for API clarity: a "round" object is its result.
@@ -303,6 +438,14 @@ class LWBRoundEngine:
         interference = interference if interference is not None else NoInterference()
         coordinator = self.topology.coordinator
         all_ids = list(nodes.keys())
+        n = len(all_ids)
+        # The engine's array order is the topology (matrix) order; when
+        # the caller's node set matches it — every simulator does — the
+        # whole round aggregates with NumPy vectors and no per-node dict
+        # bookkeeping.
+        aligned = tuple(all_ids) == self._flood.node_ids
+        ids_arr = np.array(all_ids, dtype=np.int64)
+        pos = {node: i for i, node in enumerate(all_ids)}
 
         # --- Control slot: flood the schedule from the coordinator. -----
         control_channel = self.hopper.control_channel()
@@ -314,85 +457,97 @@ class LWBRoundEngine:
             channel=control_channel,
             start_ms=self._slot_start_ms(start_ms, 0),
             interference=interference,
-            participants=all_ids,
+            participants=None if aligned else all_ids,
             max_slot_ms=self.slot_ms,
         )
-        synchronized = {node: control_flood.received.get(node, False) for node in all_ids}
-        synchronized[coordinator] = True
+        if aligned:
+            synchronized = control_flood.received_array.copy()
+            radio_on = control_flood.radio_on_array.copy()
+        else:
+            synchronized = np.zeros(n, dtype=bool)
+            radio_on = np.full(n, self.slot_ms)
+            self._scatter(control_flood, pos, synchronized, radio_on)
+        synchronized[pos[coordinator]] = True
 
         # Synchronized nodes apply the new retransmission parameter
         # immediately after the control slot.
-        for node_id, node in nodes.items():
-            if synchronized[node_id]:
-                node.apply_n_tx(schedule.n_tx)
+        for node_id in ids_arr[synchronized].tolist():
+            nodes[node_id].apply_n_tx(schedule.n_tx)
+        # Per-node retransmission budget for the data slots (constant for
+        # the rest of the round: roles and n_tx only change between
+        # rounds or at the control slot handled above).
+        effective_n_tx = np.fromiter(
+            (nodes[node_id].effective_n_tx for node_id in all_ids),
+            dtype=np.int64,
+            count=n,
+        )
 
-        radio_on_ms: Dict[int, float] = {
-            node: control_flood.radio_on_ms.get(node, self.slot_ms) for node in all_ids
-        }
-        packets_expected: Dict[int, int] = {node: 0 for node in all_ids}
-        packets_received: Dict[int, int] = {node: 0 for node in all_ids}
+        packets_expected = np.zeros(n, dtype=np.int64)
+        packets_received = np.zeros(n, dtype=np.int64)
+        if destinations is not None:
+            destination_mask = np.zeros(n, dtype=bool)
+            for node in destinations:
+                destination_mask[pos[node]] = True
+        else:
+            destination_mask = np.ones(n, dtype=bool)
 
         # --- Data slots. -------------------------------------------------
         slot_results: List[SlotResult] = []
+        sync_rows = np.flatnonzero(synchronized)
         for slot_index, source in enumerate(schedule.slots):
             channel = self.hopper.data_channel(slot_index)
             slot_start = self._slot_start_ms(start_ms, slot_index + 1)
-            slot_destinations = (
-                [d for d in destinations if d != source]
-                if destinations is not None
-                else [n for n in all_ids if n != source]
-            )
+            source_pos = pos[source]
+            slot_destinations = destination_mask.copy()
+            slot_destinations[source_pos] = False
 
-            if not synchronized.get(source, False):
+            if not synchronized[source_pos]:
                 # The source missed the schedule: the slot stays empty.
                 # Synchronized nodes still listen for the announced packet
                 # and unsynchronized ones listen trying to re-sync.
-                for node in all_ids:
-                    radio_on_ms[node] += self.slot_ms
-                for node in slot_destinations:
-                    packets_expected[node] += 1
-                empty = FloodResult(
+                radio_on += self.slot_ms
+                packets_expected[slot_destinations] += 1
+                empty = FloodResult.empty(
                     initiator=source,
-                    received={node: False for node in all_ids},
-                    reception_phase={node: None for node in all_ids},
-                    transmissions={node: 0 for node in all_ids},
-                    radio_on_ms={node: self.slot_ms for node in all_ids},
+                    node_ids=all_ids,
                     slot_duration_ms=self.slot_ms,
                     channel=channel,
+                    radio_on_ms=self.slot_ms,
                 )
                 slot_results.append(
                     SlotResult(slot_index=slot_index, source=source, channel=channel, flood=empty)
                 )
                 continue
 
-            participants = [n for n in all_ids if synchronized[n]]
-            per_node_n_tx = {n: nodes[n].effective_n_tx for n in participants}
             flood = self._flood.run(
                 initiator=source,
-                n_tx=per_node_n_tx,
+                n_tx=effective_n_tx if aligned else {
+                    node: int(effective_n_tx[pos[node]]) for node in ids_arr[synchronized].tolist()
+                },
                 packet_bytes=DataPacket(source=source).total_bytes,
                 channel=channel,
                 start_ms=slot_start,
                 interference=interference,
-                participants=participants,
+                participants=synchronized if aligned else ids_arr[synchronized].tolist(),
                 max_slot_ms=self.slot_ms,
             )
 
             feedback = nodes[source].statistics.to_feedback() if collect_feedback else None
-            for node in all_ids:
-                if node in flood.radio_on_ms:
-                    radio_on_ms[node] += flood.radio_on_ms[node]
-                else:
-                    # Unsynchronized nodes keep listening the whole slot.
-                    radio_on_ms[node] += self.slot_ms
-            for node in slot_destinations:
-                packets_expected[node] += 1
-                if flood.received.get(node, False):
-                    packets_received[node] += 1
+            # Participants contribute their measured radio-on time;
+            # unsynchronized nodes keep listening the whole slot.
+            slot_radio = np.full(n, self.slot_ms)
+            received_full = np.zeros(n, dtype=bool)
+            if aligned:
+                slot_radio[sync_rows] = flood.radio_on_array
+                received_full[sync_rows] = flood.received_array
+            else:
+                self._scatter(flood, pos, received_full, slot_radio)
+            radio_on += slot_radio
+            packets_expected[slot_destinations] += 1
+            packets_received[slot_destinations & received_full] += 1
             if collect_feedback and feedback is not None:
-                for node in all_ids:
-                    if flood.received.get(node, False):
-                        nodes[node].observe_feedback(source, feedback)
+                for node_id in ids_arr[received_full].tolist():
+                    nodes[node_id].observe_feedback(source, feedback)
 
             slot_results.append(
                 SlotResult(
@@ -409,10 +564,14 @@ class LWBRoundEngine:
         # radio-on time is a rolling average over the last few rounds
         # ("averaged over the last floods" in the paper).
         num_slots = len(schedule.slots) + 1
-        for node_id, node in nodes.items():
-            node.statistics.packets_expected = packets_expected[node_id]
-            node.statistics.packets_received = packets_received[node_id]
-            node.statistics.radio_on.record_slot(radio_on_ms[node_id] / num_slots)
+        expected_list = packets_expected.tolist()
+        received_list = packets_received.tolist()
+        per_slot_list = (radio_on / num_slots).tolist()
+        for i, node_id in enumerate(all_ids):
+            statistics = nodes[node_id].statistics
+            statistics.packets_expected = expected_list[i]
+            statistics.packets_received = received_list[i]
+            statistics.radio_on.record_slot(per_slot_list[i])
 
         self.hopper.advance_round(len(schedule.slots))
 
@@ -423,7 +582,27 @@ class LWBRoundEngine:
             control_flood=control_flood,
             slots=slot_results,
             synchronized=synchronized,
-            radio_on_ms=radio_on_ms,
+            radio_on_ms=radio_on,
             packets_expected=packets_expected,
             packets_received=packets_received,
+            node_ids=all_ids,
         )
+
+    @staticmethod
+    def _scatter(
+        flood: FloodResult,
+        pos: Dict[int, int],
+        received_out: np.ndarray,
+        radio_out: np.ndarray,
+    ) -> None:
+        """Scatter a flood's per-participant vectors into round order.
+
+        Fallback for callers whose node ordering differs from the
+        topology (matrix) order; entries of nodes absent from the flood
+        are left at their pre-filled defaults.
+        """
+        received = flood.received_array.tolist()
+        radio = flood.radio_on_array.tolist()
+        for i, node in enumerate(flood.node_ids):
+            received_out[pos[node]] = received[i]
+            radio_out[pos[node]] = radio[i]

@@ -9,13 +9,14 @@ and executes LWB rounds on request.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.net.channels import ChannelHopper
-from repro.net.energy import EnergyModel, RadioOnTracker
+from repro.net.energy import EnergyModel, RadioOnLedger
 from repro.net.glossy import FLOOD_ENGINES
 from repro.net.interference import InterferenceSource, NoInterference
 from repro.net.link import LinkModel
@@ -41,7 +42,10 @@ class SimulatorConfig:
     tx_power_dbm: float = 0.0
     default_n_tx: int = 3
     channel_hopping: bool = True
-    engine: str = "vectorized"
+    #: Flood engine; the ``REPRO_ENGINE`` environment variable overrides
+    #: the default, which is how CI runs the whole suite under the
+    #: scalar reference engine as well.
+    engine: str = field(default_factory=lambda: os.environ.get("REPRO_ENGINE", "vectorized"))
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -128,10 +132,9 @@ class NetworkSimulator:
         self.current_round: int = 0
         self.time_ms: float = 0.0
         self.round_history: List[RoundResult] = []
-        #: Lifetime radio-on accounting, for energy reporting.
-        self.radio_on_totals: Dict[int, RadioOnTracker] = {
-            node_id: RadioOnTracker() for node_id in topology.node_ids
-        }
+        #: Lifetime radio-on accounting, for energy reporting — one
+        #: array-backed ledger for the whole network.
+        self.radio_on_totals = RadioOnLedger(topology.node_ids)
 
     # ------------------------------------------------------------------
     # Environment control
@@ -212,12 +215,9 @@ class NetworkSimulator:
             destinations=destinations,
         )
         num_slots = len(schedule.slots) + 1
-        for node_id, total in result.radio_on_ms.items():
-            # Account each slot of the round in the lifetime tracker so that
-            # "radio-on time per slot" statistics include every slot.
-            per_slot = total / num_slots
-            for _ in range(num_slots):
-                self.radio_on_totals[node_id].record_slot(per_slot)
+        # Account each slot of the round in the lifetime ledger so that
+        # "radio-on time per slot" statistics include every slot.
+        self.radio_on_totals.record_round(result.radio_on_array / num_slots, num_slots)
 
         self.round_history.append(result)
         self.current_round += 1
@@ -242,8 +242,8 @@ class NetworkSimulator:
             history = history[-last_n_rounds:]
         if not history:
             return 1.0
-        expected = sum(sum(r.packets_expected.values()) for r in history)
-        received = sum(sum(r.packets_received.values()) for r in history)
+        expected = sum(int(r.packets_expected_array.sum()) for r in history)
+        received = sum(int(r.packets_received_array.sum()) for r in history)
         if expected == 0:
             return 1.0
         return received / expected
@@ -251,7 +251,4 @@ class NetworkSimulator:
     def reset_history(self) -> None:
         """Forget accumulated history and energy (start of an experiment)."""
         self.round_history.clear()
-        for tracker in self.radio_on_totals.values():
-            tracker.total_ms = 0.0
-            tracker.slot_count = 0
-            tracker.reset_recent()
+        self.radio_on_totals.reset()

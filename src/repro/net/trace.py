@@ -17,14 +17,21 @@ can be shipped with the repository or regenerated at will.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One decision point recorded from a (simulated) deployment.
+
+    Per-node observables are array-backed (aligned with
+    :attr:`node_ids`); ``reliabilities`` and ``radio_on_ms`` are lazy
+    dict views kept for API compatibility.  Records can equivalently be
+    built from per-node dicts (the arrays then materialize lazily).
 
     Attributes
     ----------
@@ -43,19 +50,100 @@ class TraceRecord:
         Whether at least one scheduled packet was missed network-wide.
     """
 
-    round_index: int
-    n_tx: int
-    reliabilities: Dict[int, float]
-    radio_on_ms: Dict[int, float]
-    interference_ratio: float = 0.0
-    had_losses: bool = False
+    __slots__ = (
+        "round_index",
+        "n_tx",
+        "node_ids",
+        "interference_ratio",
+        "had_losses",
+        "_rel_arr",
+        "_radio_arr",
+        "_rel_map",
+        "_radio_map",
+    )
+
+    def __init__(
+        self,
+        round_index: int,
+        n_tx: int,
+        reliabilities: Union[Mapping[int, float], np.ndarray, Sequence[float]],
+        radio_on_ms: Union[Mapping[int, float], np.ndarray, Sequence[float]],
+        interference_ratio: float = 0.0,
+        had_losses: bool = False,
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.round_index = round_index
+        self.n_tx = n_tx
+        self.interference_ratio = interference_ratio
+        self.had_losses = had_losses
+        if isinstance(reliabilities, MappingABC):
+            self.node_ids = tuple(reliabilities)
+            self._rel_map = (
+                reliabilities if isinstance(reliabilities, dict) else dict(reliabilities)
+            )
+            self._radio_map = radio_on_ms if isinstance(radio_on_ms, dict) else dict(radio_on_ms)
+            self._rel_arr = None
+            self._radio_arr = None
+        else:
+            if node_ids is None:
+                raise ValueError("node_ids is required for array-backed construction")
+            self.node_ids = tuple(node_ids)
+            self._rel_arr = np.asarray(reliabilities, dtype=float)
+            self._radio_arr = np.asarray(radio_on_ms, dtype=float)
+            self._rel_map = None
+            self._radio_map = None
+
+    @property
+    def reliability_array(self) -> np.ndarray:
+        """Per-node reliabilities in :attr:`node_ids` order."""
+        if self._rel_arr is None:
+            self._rel_arr = np.fromiter(
+                (float(self._rel_map[n]) for n in self.node_ids),
+                dtype=float,
+                count=len(self.node_ids),
+            )
+        return self._rel_arr
+
+    @property
+    def radio_on_array(self) -> np.ndarray:
+        """Per-node radio-on times in :attr:`node_ids` order."""
+        if self._radio_arr is None:
+            self._radio_arr = np.fromiter(
+                (float(self._radio_map[n]) for n in self.node_ids),
+                dtype=float,
+                count=len(self.node_ids),
+            )
+        return self._radio_arr
+
+    @property
+    def reliabilities(self) -> Dict[int, float]:
+        """Dict view of the per-node reliabilities (node id -> PRR)."""
+        if self._rel_map is None:
+            self._rel_map = dict(zip(self.node_ids, self._rel_arr.tolist()))
+        return self._rel_map
+
+    @property
+    def radio_on_ms(self) -> Dict[int, float]:
+        """Dict view of the per-node per-slot radio-on times."""
+        if self._radio_map is None:
+            self._radio_map = dict(zip(self.node_ids, self._radio_arr.tolist()))
+        return self._radio_map
 
     def worst_nodes(self, k: int) -> List[int]:
-        """Return the ``k`` node ids with lowest reliability (ties by id)."""
+        """Return the ``k`` node ids with lowest reliability (ties by id).
+
+        ``k`` larger than the node count returns every node; a NaN
+        reliability (a churned node that dropped out mid-round) ranks as
+        worst-possible, so dropped-out nodes surface first.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
-        ranked = sorted(self.reliabilities.items(), key=lambda item: (item[1], item[0]))
-        return [node for node, _ in ranked[:k]]
+        if not self.node_ids:
+            return []
+        ids = np.asarray(self.node_ids)
+        values = np.where(np.isnan(self.reliability_array), -np.inf, self.reliability_array)
+        order = np.lexsort((ids, values))
+        return ids[order][:k].tolist()
 
 
 @dataclass
@@ -102,7 +190,13 @@ class TraceSet:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        """Serialize the trace set to plain Python structures."""
+        """Serialize the trace set to plain Python structures.
+
+        The per-node observables are written as parallel arrays
+        (``node_ids`` + value lists) instead of ``{str(id): value}``
+        maps: the arrays round-trip without the per-entry key
+        stringify/parse the dict format needed.
+        """
         return {
             "metadata": dict(self.metadata),
             "episode_starts": list(self.episode_starts),
@@ -110,8 +204,9 @@ class TraceSet:
                 {
                     "round_index": r.round_index,
                     "n_tx": r.n_tx,
-                    "reliabilities": {str(k): v for k, v in r.reliabilities.items()},
-                    "radio_on_ms": {str(k): v for k, v in r.radio_on_ms.items()},
+                    "node_ids": list(r.node_ids),
+                    "reliabilities": r.reliability_array.tolist(),
+                    "radio_on_ms": r.radio_on_array.tolist(),
                     "interference_ratio": r.interference_ratio,
                     "had_losses": r.had_losses,
                 }
@@ -119,20 +214,34 @@ class TraceSet:
             ],
         }
 
-    @classmethod
-    def from_dict(cls, data: Dict) -> "TraceSet":
-        """Rebuild a trace set from :meth:`to_dict` output."""
-        records = [
-            TraceRecord(
+    @staticmethod
+    def _record_from_entry(entry: Dict) -> TraceRecord:
+        """Rebuild one record; accepts the array format and the legacy
+        ``{str(id): value}`` dict format of earlier trace files."""
+        reliabilities = entry["reliabilities"]
+        if isinstance(reliabilities, dict):
+            return TraceRecord(
                 round_index=entry["round_index"],
                 n_tx=entry["n_tx"],
-                reliabilities={int(k): float(v) for k, v in entry["reliabilities"].items()},
+                reliabilities={int(k): float(v) for k, v in reliabilities.items()},
                 radio_on_ms={int(k): float(v) for k, v in entry["radio_on_ms"].items()},
                 interference_ratio=float(entry.get("interference_ratio", 0.0)),
                 had_losses=bool(entry.get("had_losses", False)),
             )
-            for entry in data.get("records", [])
-        ]
+        return TraceRecord(
+            round_index=entry["round_index"],
+            n_tx=entry["n_tx"],
+            reliabilities=np.asarray(reliabilities, dtype=float),
+            radio_on_ms=np.asarray(entry["radio_on_ms"], dtype=float),
+            interference_ratio=float(entry.get("interference_ratio", 0.0)),
+            had_losses=bool(entry.get("had_losses", False)),
+            node_ids=[int(node) for node in entry["node_ids"]],
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TraceSet":
+        """Rebuild a trace set from :meth:`to_dict` output."""
+        records = [cls._record_from_entry(entry) for entry in data.get("records", [])]
         return cls(
             records=records,
             episode_starts=list(data.get("episode_starts", [0] if records else [])),

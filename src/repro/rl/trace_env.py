@@ -300,6 +300,62 @@ class SimulationEnvironment(Environment):
         return StepResult(state=state, reward=reward, done=done, info=info)
 
 
+def record_episode_for_n_tx(
+    topology: Topology,
+    n_tx: int,
+    episode: EpisodeSpec,
+    ambient_rate: float,
+    round_period_s: float,
+    episode_seed: int,
+    interference_seed: int,
+) -> List[Dict]:
+    """Run one episode with a fixed ``N_TX`` and return per-round payloads.
+
+    This is the per-simulator slice of the trace collection: the
+    ``N_max + 1`` lock-stepped simulators of a decision point never
+    interact, so each (episode, N_TX) pair is an independent unit of
+    work — exactly the granularity :class:`TraceRecorder` fans out
+    through the :class:`~repro.experiments.runner.ParallelRunner`.  The
+    payloads are plain JSON-able dicts (parallel ``node_ids`` / value
+    arrays) so worker results can cross process boundaries and the
+    runner's on-disk cache untouched.
+    """
+    simulator = NetworkSimulator(
+        topology,
+        SimulatorConfig(
+            round_period_s=round_period_s,
+            channel_hopping=False,
+            default_n_tx=n_tx,
+            seed=episode_seed,
+        ),
+    )
+    records: List[Dict] = []
+    for segment_rounds, ratio in episode:
+        simulator.set_interference(
+            build_interference(
+                topology, ratio, ambient_rate=ambient_rate, seed=interference_seed
+            )
+        )
+        for _ in range(int(segment_rounds)):
+            result = simulator.run_round(n_tx=n_tx)
+            # Record what the coordinator would have seen (feedback
+            # headers plus pessimistic fill-ins), so offline training
+            # uses the same input distribution as the deployed protocol;
+            # the loss flag stays ground truth since it only feeds the
+            # training reward.
+            view = build_observer_view(result, observer=topology.coordinator)
+            records.append(
+                {
+                    "node_ids": list(view["reliability"]),
+                    "reliabilities": list(view["reliability"].values()),
+                    "radio_on_ms": list(view["radio_on_ms"].values()),
+                    "interference_ratio": float(ratio),
+                    "had_losses": bool(result.had_losses),
+                }
+            )
+    return records
+
+
 class TraceRecorder:
     """Records unlabeled training traces from lock-stepped simulations.
 
@@ -308,6 +364,23 @@ class TraceRecorder:
     timeline) execute the round and their outcomes are stored.  The
     resulting :class:`~repro.net.trace.TraceSet` contains one
     :class:`~repro.net.trace.TraceRecord` per (round, N_TX) pair.
+
+    The simulators never interact, so collection parallelizes over
+    (episode, N_TX) pairs: pass a
+    :class:`~repro.experiments.runner.ParallelRunner` to :meth:`record`
+    to fan the ``N_max + 1`` lock-stepped simulations out across worker
+    processes (results are identical to the serial path).
+
+    Parameters
+    ----------
+    topology:
+        Deployment to record on (defaults to the 18-node testbed).
+    topology_spec:
+        JSON-able spec of the topology (see
+        :func:`~repro.experiments.runner.build_topology`), required for
+        the parallel path so workers can rebuild the deployment;
+        defaults to the 18-node testbed spec when ``topology`` is left
+        at its default.
     """
 
     def __init__(
@@ -317,76 +390,120 @@ class TraceRecorder:
         ambient_rate: float = 0.02,
         round_period_s: float = 4.0,
         seed: int = 0,
+        topology_spec: Optional[Dict] = None,
     ) -> None:
         if n_max <= 0:
             raise ValueError("n_max must be positive")
+        if topology is None and topology_spec is None:
+            topology_spec = {"kind": "kiel"}
         self.topology = topology if topology is not None else kiel_testbed()
+        self.topology_spec = topology_spec
         self.n_max = n_max
         self.ambient_rate = ambient_rate
         self.round_period_s = round_period_s
         self.seed = seed
 
+    def _episode_payloads(
+        self,
+        episodes: Sequence[EpisodeSpec],
+        repetitions: int,
+        runner,
+    ) -> Dict:
+        """Per-(repetition, episode, n_tx) round payloads, serial or fanned out."""
+        jobs = [
+            (repetition, episode_index, spec, n_tx)
+            for repetition in range(repetitions)
+            for episode_index, spec in enumerate(episodes)
+            for n_tx in range(self.n_max + 1)
+        ]
+        if runner is None:
+            return {
+                (repetition, episode_index, n_tx): record_episode_for_n_tx(
+                    self.topology,
+                    n_tx,
+                    spec,
+                    self.ambient_rate,
+                    self.round_period_s,
+                    episode_seed=self.seed + 101 * repetition + episode_index,
+                    interference_seed=self.seed + episode_index,
+                )
+                for repetition, episode_index, spec, n_tx in jobs
+            }
+        if self.topology_spec is None:
+            raise ValueError(
+                "parallel trace recording needs a topology_spec so workers "
+                "can rebuild the deployment"
+            )
+        from repro.experiments.runner import ScenarioTask
+
+        tasks = [
+            ScenarioTask(
+                experiment="trace_episode",
+                params={
+                    "topology": self.topology_spec,
+                    "n_tx": n_tx,
+                    "episode": [[int(rounds), float(ratio)] for rounds, ratio in spec],
+                    "ambient_rate": self.ambient_rate,
+                    "round_period_s": self.round_period_s,
+                    "interference_seed": self.seed + episode_index,
+                },
+                seed=self.seed + 101 * repetition + episode_index,
+                label=f"trace[rep{repetition}/ep{episode_index}/ntx{n_tx}]",
+            )
+            for repetition, episode_index, spec, n_tx in jobs
+        ]
+        results = runner.run(tasks)
+        return {
+            (repetition, episode_index, n_tx): result["records"]
+            for (repetition, episode_index, _, n_tx), result in zip(jobs, results)
+        }
+
     def record(
         self,
         episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES,
         repetitions: int = 1,
+        runner=None,
     ) -> TraceSet:
-        """Run every episode ``repetitions`` times and collect the traces."""
+        """Run every episode ``repetitions`` times and collect the traces.
+
+        With ``runner`` set (a
+        :class:`~repro.experiments.runner.ParallelRunner`), the
+        ``N_max + 1`` lock-stepped simulations of every episode run as
+        independent worker tasks; the merged trace is identical to the
+        serial result.
+        """
         trace = TraceSet(metadata={
             "topology": self.topology.name,
             "n_max": str(self.n_max),
             "ambient_rate": str(self.ambient_rate),
         })
+        payloads = self._episode_payloads(list(episodes), repetitions, runner)
         round_counter = 0
         for repetition in range(repetitions):
             for episode_index, spec in enumerate(episodes):
                 trace.start_episode()
-                episode_seed = self.seed + 101 * repetition + episode_index
-                simulators = {
-                    n_tx: NetworkSimulator(
-                        self.topology,
-                        SimulatorConfig(
-                            round_period_s=self.round_period_s,
-                            channel_hopping=False,
-                            default_n_tx=n_tx,
-                            seed=episode_seed,
-                        ),
-                    )
+                per_n_tx = [
+                    payloads[(repetition, episode_index, n_tx)]
                     for n_tx in range(self.n_max + 1)
-                }
-                for segment_rounds, ratio in spec:
-                    interference = build_interference(
-                        self.topology,
-                        ratio,
-                        ambient_rate=self.ambient_rate,
-                        seed=self.seed + episode_index,
-                    )
-                    for simulator in simulators.values():
-                        simulator.set_interference(interference)
-                    for _ in range(segment_rounds):
-                        for n_tx, simulator in simulators.items():
-                            result = simulator.run_round(n_tx=n_tx)
-                            # Record what the coordinator would have seen
-                            # (feedback headers plus pessimistic fill-ins),
-                            # so offline training uses the same input
-                            # distribution as the deployed protocol; the
-                            # loss flag stays ground truth since it only
-                            # feeds the training reward.
-                            view = build_observer_view(
-                                result,
-                                observer=self.topology.coordinator,
+                ]
+                total_rounds = sum(int(rounds) for rounds, _ in spec)
+                for round_in_episode in range(total_rounds):
+                    for n_tx in range(self.n_max + 1):
+                        entry = per_n_tx[n_tx][round_in_episode]
+                        trace.append(
+                            TraceRecord(
+                                round_index=round_counter,
+                                n_tx=n_tx,
+                                reliabilities=np.asarray(
+                                    entry["reliabilities"], dtype=float
+                                ),
+                                radio_on_ms=np.asarray(entry["radio_on_ms"], dtype=float),
+                                interference_ratio=entry["interference_ratio"],
+                                had_losses=entry["had_losses"],
+                                node_ids=[int(node) for node in entry["node_ids"]],
                             )
-                            trace.append(
-                                TraceRecord(
-                                    round_index=round_counter,
-                                    n_tx=n_tx,
-                                    reliabilities=view["reliability"],
-                                    radio_on_ms=view["radio_on_ms"],
-                                    interference_ratio=ratio,
-                                    had_losses=result.had_losses,
-                                )
-                            )
-                        round_counter += 1
+                        )
+                    round_counter += 1
         return trace
 
 

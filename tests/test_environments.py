@@ -77,6 +77,61 @@ class TestTraceRecorder:
         assert point.available_n_tx == [0, 1, 2, 3]
 
 
+class TestTraceRecorderParallel:
+    """The N_max+1 lock-stepped simulators fan out through ParallelRunner."""
+
+    EPISODES = (((2, 0.0), (2, 0.3)), ((2, 0.1),))
+
+    def test_parallel_record_matches_serial(self):
+        from repro.experiments.runner import ParallelRunner
+
+        recorder = TraceRecorder(n_max=2, seed=7, round_period_s=1.0)
+        serial = recorder.record(episodes=self.EPISODES)
+        parallel = recorder.record(
+            episodes=self.EPISODES, runner=ParallelRunner(max_workers=4)
+        )
+        assert len(serial) == len(parallel)
+        assert serial.episode_starts == parallel.episode_starts
+        for a, b in zip(serial, parallel):
+            assert (a.round_index, a.n_tx) == (b.round_index, b.n_tx)
+            assert a.reliabilities == b.reliabilities
+            assert a.radio_on_ms == b.radio_on_ms
+            assert a.had_losses == b.had_losses
+            assert a.interference_ratio == b.interference_ratio
+
+    def test_inline_runner_matches_serial(self):
+        from repro.experiments.runner import ParallelRunner
+
+        recorder = TraceRecorder(n_max=2, seed=7, round_period_s=1.0)
+        serial = recorder.record(episodes=self.EPISODES)
+        inline = recorder.record(
+            episodes=self.EPISODES, runner=ParallelRunner(max_workers=0)
+        )
+        for a, b in zip(serial, inline):
+            assert a.reliabilities == b.reliabilities
+
+    def test_custom_topology_without_spec_rejected(self, tiny_topology):
+        from repro.experiments.runner import ParallelRunner
+
+        recorder = TraceRecorder(tiny_topology, n_max=2, seed=0)
+        with pytest.raises(ValueError):
+            recorder.record(episodes=self.EPISODES, runner=ParallelRunner(max_workers=0))
+
+    def test_custom_topology_with_spec(self):
+        from repro.experiments.runner import ParallelRunner, build_topology
+
+        spec = {"kind": "grid", "rows": 2, "cols": 3, "spacing_m": 6.0, "comm_range_m": 9.0}
+        recorder = TraceRecorder(
+            build_topology(spec), n_max=2, seed=1, topology_spec=spec
+        )
+        serial = recorder.record(episodes=(((2, 0.2),),))
+        parallel = recorder.record(
+            episodes=(((2, 0.2),),), runner=ParallelRunner(max_workers=2)
+        )
+        for a, b in zip(serial, parallel):
+            assert a.reliabilities == b.reliabilities
+
+
 class TestTraceEnvironment:
     def test_state_size_matches_config(self, tiny_trace):
         config = FeatureConfig(num_input_nodes=4, history_size=2, n_max=3)

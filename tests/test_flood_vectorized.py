@@ -157,3 +157,124 @@ class TestSimulatorEngineSelection:
             )
         assert outcomes["vectorized"][0] == pytest.approx(outcomes["scalar"][0], abs=0.03)
         assert outcomes["vectorized"][1] == pytest.approx(outcomes["scalar"][1], rel=0.10)
+
+
+class TestAcceptanceConfigurations:
+    """Fixed-seed equivalence on the two ISSUE-mandated configurations:
+    a pure periodic jammer and the zero-interference-ratio baseline."""
+
+    def test_periodic_jammer_statistics_agree(self):
+        topology = kiel_testbed()
+        jammer = BurstJammer(
+            position=topology.jammers[0], interference_ratio=0.3, channels=None
+        )
+        scalar = flood_statistics(topology, "scalar", seed=13, interference=jammer)
+        vectorized = flood_statistics(topology, "vectorized", seed=13, interference=jammer)
+        assert vectorized[0] == pytest.approx(scalar[0], abs=0.03)
+        assert vectorized[1] == pytest.approx(scalar[1], rel=0.07)
+        assert vectorized[2] == pytest.approx(scalar[2], rel=0.07)
+
+    def test_zero_interference_ratio_statistics_agree(self):
+        # interference_ratio=0 is the sweep's clean baseline point: the
+        # jammer must behave exactly like no interference in both engines.
+        topology = kiel_testbed()
+        silent = BurstJammer(
+            position=topology.jammers[0], interference_ratio=0.0, channels=None
+        )
+        scalar = flood_statistics(topology, "scalar", seed=17, interference=silent)
+        vectorized = flood_statistics(topology, "vectorized", seed=17, interference=silent)
+        clean_vectorized = flood_statistics(topology, "vectorized", seed=17)
+        assert vectorized[0] == pytest.approx(scalar[0], abs=0.02)
+        assert vectorized[1] == pytest.approx(scalar[1], rel=0.05)
+        # The silent jammer consumes no extra randomness: identical stats.
+        assert vectorized == clean_vectorized
+
+
+class TestArrayBackedFloodResult:
+    """The array backing and the dict-view compatibility shims."""
+
+    @pytest.fixture()
+    def result(self):
+        topology = grid_topology(rows=3, cols=3, spacing_m=4.0, comm_range_m=12.0)
+        flood = GlossyFlood(topology, rng=np.random.default_rng(3), engine="vectorized")
+        return flood.run(initiator=0, n_tx=2)
+
+    def test_arrays_align_with_node_ids(self, result):
+        assert len(result.node_ids) == len(result.received_array)
+        for i, node in enumerate(result.node_ids):
+            assert result.received[node] == bool(result.received_array[i])
+            assert result.transmissions[node] == int(result.transmissions_array[i])
+            assert result.radio_on_ms[node] == pytest.approx(result.radio_on_array[i])
+
+    def test_reception_phase_none_encoding(self, result):
+        for i, node in enumerate(result.node_ids):
+            phase = result.reception_phase[node]
+            if phase is None:
+                assert result.reception_phase_array[i] == -1
+            else:
+                assert result.reception_phase_array[i] == phase
+
+    def test_dict_views_are_cached_and_mutable(self, result):
+        view = result.received
+        assert view is result.received  # same object on every access
+        victim = result.node_ids[-1]
+        original = result.reliability
+        view[victim] = not view[victim]
+        assert result.reliability != pytest.approx(original)
+
+    def test_aggregates_match_dict_formulas(self, result):
+        destinations = [n for n in result.received if n != result.initiator]
+        expected = sum(1 for n in destinations if result.received[n]) / len(destinations)
+        assert result.reliability == pytest.approx(expected)
+        assert result.average_radio_on_ms == pytest.approx(
+            sum(result.radio_on_ms.values()) / len(result.radio_on_ms)
+        )
+        assert result.receivers() == sorted(n for n, ok in result.received.items() if ok)
+
+    def test_scalar_and_vectorized_results_expose_same_api(self):
+        topology = grid_topology(rows=2, cols=2, spacing_m=4.0, comm_range_m=8.0)
+        for engine in FLOOD_ENGINES:
+            flood = GlossyFlood(topology, rng=np.random.default_rng(1), engine=engine)
+            result = flood.run(initiator=0, n_tx=2)
+            assert set(result.received) == set(topology.node_ids)
+            assert result.received_array.dtype == bool
+            assert result.transmissions_array.dtype == np.int64
+            assert 0.0 <= result.reliability <= 1.0
+
+    def test_boolean_participant_mask(self):
+        topology = grid_topology(rows=2, cols=3, spacing_m=4.0, comm_range_m=12.0)
+        flood = GlossyFlood(topology, rng=np.random.default_rng(2), engine="vectorized")
+        mask = np.zeros(topology.num_nodes, dtype=bool)
+        mask[[0, 1, 2]] = True
+        result = flood.run(initiator=0, n_tx=2, participants=mask)
+        assert sorted(result.received) == [0, 1, 2]
+
+    def test_per_node_n_tx_vector(self):
+        topology = grid_topology(rows=2, cols=3, spacing_m=4.0, comm_range_m=12.0)
+        flood = GlossyFlood(topology, rng=np.random.default_rng(2), engine="vectorized")
+        n_tx = np.zeros(topology.num_nodes, dtype=np.int64)
+        n_tx[0] = 3
+        result = flood.run(initiator=0, n_tx=n_tx)
+        assert all(
+            result.transmissions[node] == 0 for node in topology.node_ids if node != 0
+        )
+
+    def test_empty_result_with_absent_initiator(self):
+        # An empty slot whose source missed the schedule: the source is
+        # not among the listed nodes, and both backings agree on 0.0.
+        from repro.net.glossy import FloodResult
+
+        empty = FloodResult.empty(
+            initiator=99, node_ids=[1, 2, 3], slot_duration_ms=10.0, channel=26
+        )
+        assert empty.reliability == 0.0
+        from_dicts = FloodResult(
+            initiator=99,
+            received={1: False, 2: False, 3: False},
+            reception_phase={1: None, 2: None, 3: None},
+            transmissions={1: 0, 2: 0, 3: 0},
+            radio_on_ms={1: 10.0, 2: 10.0, 3: 10.0},
+            slot_duration_ms=10.0,
+            channel=26,
+        )
+        assert empty.reliability == from_dicts.reliability

@@ -1,11 +1,14 @@
 """Tests for the interference sources."""
 
+import numpy as np
 import pytest
 
 from repro.net.interference import (
+    BURST_OVERLAP_DECODE_THRESHOLD,
     AmbientInterference,
     BurstJammer,
     CompositeInterference,
+    InterferenceSource,
     NoInterference,
     WifiInterference,
     burst_period_ms,
@@ -19,9 +22,21 @@ class TestBurstPeriod:
     def test_thirty_five_percent_is_about_37ms(self):
         assert burst_period_ms(0.35) == pytest.approx(37.14, abs=0.1)
 
+    def test_zero_ratio_means_no_bursts(self):
+        # The sweep's clean baseline point: no bursts, infinite period.
+        assert burst_period_ms(0.0) == float("inf")
+
     def test_invalid_ratio_rejected(self):
         with pytest.raises(ValueError):
-            burst_period_ms(0.0)
+            burst_period_ms(-0.1)
+        with pytest.raises(ValueError):
+            burst_period_ms(1.5)
+
+    def test_zero_ratio_jammer_period_is_infinite(self):
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.0)
+        assert jammer.period_ms == float("inf")
+        assert jammer.penalty((0.0, 0.0), 1.0, 2.0, 26) == 0.0
+        assert not jammer.penalty_batch(np.zeros((4, 2)), 1.0, 2.0, 26).any()
 
 
 class TestNoInterference:
@@ -138,6 +153,98 @@ class TestAmbientInterference:
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError):
             AmbientInterference(rate=1.5)
+
+
+class TestScalarBatchEquivalence:
+    """The scalar, batched and timeline formulations must agree exactly."""
+
+    POSITIONS = np.array(
+        [[0.0, 0.0], [1.0, 1.0], [4.0, 0.0], [7.5, 0.0], [9.9, 0.1], [40.0, 40.0]]
+    )
+
+    def sources(self):
+        return [
+            BurstJammer(position=(0.0, 0.0), interference_ratio=0.30, channels=None),
+            BurstJammer(
+                position=(2.0, 2.0),
+                interference_ratio=0.10,
+                channels=(26,),
+                start_ms=40.0,
+                end_ms=700.0,
+                phase_ms=5.0,
+            ),
+            WifiInterference(level=2, positions=[(0.0, 0.0), (6.0, 6.0)], seed=3),
+            AmbientInterference(rate=0.5, seed=2),
+            CompositeInterference(
+                [
+                    AmbientInterference(rate=0.2, seed=9),
+                    BurstJammer(position=(1.0, 0.0), interference_ratio=0.25, channels=None),
+                ]
+            ),
+        ]
+
+    @pytest.mark.parametrize("channel", [26, 15])
+    def test_penalty_batch_matches_scalar_penalty(self, channel):
+        for source in self.sources():
+            for start in (0.0, 5.5, 61.0, 130.0, 333.3):
+                batch = source.penalty_batch(self.POSITIONS, start, 1.6, channel)
+                scalar = [
+                    source.penalty((float(x), float(y)), start, 1.6, channel)
+                    for x, y in self.POSITIONS
+                ]
+                assert batch.tolist() == pytest.approx(scalar, abs=0.0)
+
+    @pytest.mark.parametrize("channel", [26, 15])
+    def test_penalty_timeline_matches_penalty_batch(self, channel):
+        for source in self.sources():
+            for start in (0.0, 17.3, 123.4):
+                timeline = source.penalty_timeline(self.POSITIONS, start, 1.6, 12, channel)
+                reference = np.stack(
+                    [
+                        source.penalty_batch(self.POSITIONS, start + p * 1.6, 1.6, channel)
+                        for p in range(12)
+                    ]
+                )
+                assert np.array_equal(timeline, reference)
+
+    def test_overlap_cutoff_is_shared(self):
+        """The decode threshold gates penalty and penalty_batch identically.
+
+        A burst overlap just below the shared cutoff must be free in both
+        formulations, just above must jam in both — so the cutoff cannot
+        silently drift apart between the scalar and vectorized engines.
+        """
+        jammer = BurstJammer(position=(0.0, 0.0), interference_ratio=0.10, channels=None)
+        position = (1.0, 1.0)
+        positions = np.array([position])
+        duration = 10.0
+        # Burst covers [0, 13): start the window so that exactly
+        # ``fraction`` of it overlaps the burst tail.
+        for fraction, jammed in [
+            (BURST_OVERLAP_DECODE_THRESHOLD - 0.02, False),
+            (BURST_OVERLAP_DECODE_THRESHOLD + 0.02, True),
+        ]:
+            start = 13.0 - fraction * duration
+            scalar = jammer.penalty(position, start, duration, 26)
+            batch = jammer.penalty_batch(positions, start, duration, 26)
+            timeline = jammer.penalty_timeline(positions, start, duration, 1, 26)
+            expected = 1.0 if jammed else 0.0
+            assert scalar == pytest.approx(expected)
+            assert batch[0] == pytest.approx(expected)
+            assert timeline[0, 0] == pytest.approx(expected)
+
+    def test_default_timeline_stacks_penalty_batch(self):
+        """Custom sources inherit a timeline consistent with penalty_batch."""
+
+        class HalfJam(InterferenceSource):
+            def penalty(self, position, start_ms, duration_ms, channel):
+                return 0.5 if start_ms < 5.0 else 0.0
+
+        source = HalfJam()
+        timeline = source.penalty_timeline(self.POSITIONS, 0.0, 2.0, 4, 26)
+        assert timeline.shape == (4, len(self.POSITIONS))
+        assert timeline[0].tolist() == [0.5] * len(self.POSITIONS)
+        assert timeline[3].tolist() == [0.0] * len(self.POSITIONS)
 
 
 class TestCompositeInterference:

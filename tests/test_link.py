@@ -164,3 +164,67 @@ class TestPrrMatrix:
         model = LinkModel(kiel, seed=4)
         with pytest.raises(ValueError):
             model.reception_probabilities(np.zeros(3, dtype=bool))
+
+
+class TestLinkQualityMutation:
+    """Mutating link qualities must invalidate the cached PRR matrix."""
+
+    def test_override_changes_link_and_matrix(self, kiel):
+        model = LinkModel(kiel, seed=0)
+        a, b = kiel.node_ids[0], kiel.node_ids[1]
+        before = model.prr_matrix()[model.node_index[a], model.node_index[b]]
+        assert before > 0.0
+        model.set_link_quality(a, b, 0.25)
+        assert model.prr(a, b) == pytest.approx(0.25)
+        assert model.prr(b, a) == pytest.approx(0.25)  # symmetric by default
+        matrix = model.prr_matrix()
+        assert matrix[model.node_index[a], model.node_index[b]] == pytest.approx(0.25)
+        assert matrix[model.node_index[b], model.node_index[a]] == pytest.approx(0.25)
+
+    def test_asymmetric_override(self, kiel):
+        model = LinkModel(kiel, seed=0)
+        a, b = kiel.node_ids[0], kiel.node_ids[1]
+        reverse_before = model.prr(b, a)
+        model.set_link_quality(a, b, 0.1, symmetric=False)
+        assert model.prr(a, b) == pytest.approx(0.1)
+        assert model.prr(b, a) == pytest.approx(reverse_before)
+
+    def test_clear_overrides_restores_original(self, kiel):
+        model = LinkModel(kiel, seed=0)
+        a, b = kiel.node_ids[0], kiel.node_ids[1]
+        original = model.prr(a, b)
+        original_matrix = model.prr_matrix().copy()
+        model.set_link_quality(a, b, 0.0)
+        model.clear_link_quality_overrides()
+        assert model.prr(a, b) == pytest.approx(original)
+        assert np.array_equal(model.prr_matrix(), original_matrix)
+
+    def test_invalid_overrides_rejected(self, kiel):
+        model = LinkModel(kiel, seed=0)
+        a, b = kiel.node_ids[0], kiel.node_ids[1]
+        with pytest.raises(ValueError):
+            model.set_link_quality(a, b, 1.5)
+        with pytest.raises(ValueError):
+            model.set_link_quality(a, a, 0.5)
+        with pytest.raises(ValueError):
+            model.set_link_quality(a, 999999, 0.5)
+
+    @pytest.mark.parametrize("engine", ["scalar", "vectorized"])
+    def test_mutation_then_reflood_uses_new_qualities(self, engine):
+        """Regression: node churn mutating links mid-run must reach both
+        engines on the next flood, not serve a stale cached matrix."""
+        from repro.net.glossy import GlossyFlood
+
+        topology = grid_topology(rows=1, cols=3, spacing_m=4.0, comm_range_m=6.0)
+        model = LinkModel(topology, seed=1)
+        flood = GlossyFlood(
+            topology, model, rng=np.random.default_rng(0), engine=engine
+        )
+        healthy = flood.run(initiator=0, n_tx=3)
+        assert healthy.reliability > 0.0
+        # Sever every link of the initiator: the flood cannot leave node 0.
+        for other in topology.node_ids:
+            if other != 0:
+                model.set_link_quality(0, other, 0.0)
+        severed = flood.run(initiator=0, n_tx=3)
+        assert severed.reliability == 0.0

@@ -78,3 +78,111 @@ class TestTraceSet:
 
     def test_empty_episodes(self):
         assert TraceSet().episodes() == []
+
+
+class TestTraceRecordDegenerateInputs:
+    def test_k_larger_than_node_count_returns_all(self):
+        record = make_record(lossy=True)
+        assert record.worst_nodes(50) == [2, 1, 0]
+
+    def test_empty_reliabilities(self):
+        record = TraceRecord(round_index=0, n_tx=3, reliabilities={}, radio_on_ms={})
+        assert record.worst_nodes(5) == []
+
+    def test_nan_reliabilities_rank_worst_first(self):
+        # Churned nodes that dropped out mid-round report NaN; they must
+        # surface first (deterministically, ties by id), not poison the sort.
+        record = TraceRecord(
+            round_index=0,
+            n_tx=3,
+            reliabilities={0: 0.9, 1: float("nan"), 2: 0.1, 3: float("nan")},
+            radio_on_ms={0: 8.0, 1: 8.0, 2: 8.0, 3: 8.0},
+        )
+        assert record.worst_nodes(3) == [1, 3, 2]
+        assert record.worst_nodes(10) == [1, 3, 2, 0]
+
+    def test_array_backed_construction_matches_dict(self):
+        import numpy as np
+
+        from_dicts = make_record(lossy=True)
+        from_arrays = TraceRecord(
+            round_index=0,
+            n_tx=3,
+            reliabilities=np.array([1.0, 0.8, 0.5]),
+            radio_on_ms=np.array([8.0, 10.0, 12.0]),
+            node_ids=[0, 1, 2],
+        )
+        assert from_arrays.reliabilities == from_dicts.reliabilities
+        assert from_arrays.radio_on_ms == from_dicts.radio_on_ms
+        assert from_arrays.worst_nodes(2) == from_dicts.worst_nodes(2)
+
+    def test_nan_survives_json_roundtrip(self):
+        import math
+
+        trace = TraceSet()
+        trace.append(
+            TraceRecord(
+                round_index=0,
+                n_tx=2,
+                reliabilities={0: 1.0, 1: float("nan")},
+                radio_on_ms={0: 8.0, 1: 8.0},
+            )
+        )
+        rebuilt = TraceSet.from_dict(trace.to_dict())
+        assert math.isnan(rebuilt[0].reliabilities[1])
+        assert rebuilt[0].worst_nodes(1) == [1]
+
+    def test_legacy_dict_format_still_loads(self):
+        legacy = {
+            "metadata": {},
+            "episode_starts": [0],
+            "records": [
+                {
+                    "round_index": 0,
+                    "n_tx": 4,
+                    "reliabilities": {"0": 1.0, "1": 0.5},
+                    "radio_on_ms": {"0": 8.0, "1": 9.0},
+                    "interference_ratio": 0.1,
+                    "had_losses": True,
+                }
+            ],
+        }
+        trace = TraceSet.from_dict(legacy)
+        assert trace[0].reliabilities == {0: 1.0, 1: 0.5}
+        assert trace[0].worst_nodes(1) == [1]
+
+
+class TestRewardPathDegenerateInputs:
+    """The reward path must stay well-defined on degenerate round data."""
+
+    def test_reward_on_loss_free_round_with_n_tx_zero(self):
+        from repro.rl.reward import RewardConfig, compute_reward
+
+        assert compute_reward(0, had_losses=False) == pytest.approx(1.0)
+
+    def test_reward_zero_on_losses_regardless_of_n_tx(self):
+        from repro.rl.reward import compute_reward
+
+        for n_tx in (0, 3, 100):
+            assert compute_reward(n_tx, had_losses=True) == 0.0
+
+    def test_negative_n_tx_rejected(self):
+        from repro.rl.reward import compute_reward
+
+        with pytest.raises(ValueError):
+            compute_reward(-1, had_losses=False)
+
+    def test_reward_from_worst_nodes_of_degenerate_record(self):
+        # A record whose worst nodes all dropped out (NaN) still yields a
+        # well-defined reward: the loss flag, not the NaNs, drives Eq. 3.
+        from repro.rl.reward import compute_reward
+
+        record = TraceRecord(
+            round_index=0,
+            n_tx=5,
+            reliabilities={1: float("nan"), 2: float("nan")},
+            radio_on_ms={1: 20.0, 2: 20.0},
+            had_losses=True,
+        )
+        assert record.worst_nodes(2) == [1, 2]
+        assert compute_reward(record.n_tx, record.had_losses) == 0.0
