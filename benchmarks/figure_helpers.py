@@ -1,10 +1,31 @@
-"""Shared helpers for the dynamic-interference figure benchmarks."""
+"""Shared helpers for the figure benchmarks."""
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.runner import ParallelRunner
 
 #: Compression of the paper's 27-minute timeline used by the Fig. 4c/4d
 #: benchmarks (0.5 -> ~13.5 minutes of simulated time, ~200 rounds).
 TIME_SCALE = 0.5
+
+
+def benchmark_runner() -> ParallelRunner:
+    """The :class:`ParallelRunner` the figure benchmarks fan out over.
+
+    ``REPRO_BENCH_WORKERS`` overrides the worker count (``1`` runs
+    inline, handy for debugging); ``REPRO_BENCH_CACHE`` points the
+    on-disk result cache somewhere persistent (unset = no cache, so a
+    benchmark run always measures fresh simulations).
+    """
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    cache = os.environ.get("REPRO_BENCH_CACHE")
+    return ParallelRunner(
+        max_workers=int(workers) if workers else None,
+        cache_dir=Path(cache) if cache else None,
+    )
 
 
 def segment_rows(result, scale: float):

@@ -6,7 +6,9 @@ historical features helps distinguish transient from persistent
 interference; beyond a couple of entries the benefit saturates.
 """
 
-from repro.experiments.feature_selection import sweep_history_size
+from figure_helpers import benchmark_runner
+
+from repro.experiments.feature_selection import run_feature_sweep_parallel
 from repro.experiments.reporting import format_table
 from repro.experiments.training import TrainingProfile, default_data_dir
 
@@ -19,8 +21,10 @@ BENCH_PROFILE = TrainingProfile(
 
 
 def test_fig4b_history_size(benchmark):
+    # One training+evaluation worker task per M value (see the K sweep).
     result = benchmark.pedantic(
-        sweep_history_size,
+        run_feature_sweep_parallel,
+        args=(benchmark_runner(), "history"),
         kwargs={
             "values": M_VALUES,
             "models_per_value": 1,

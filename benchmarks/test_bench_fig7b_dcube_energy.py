@@ -11,9 +11,9 @@ from repro.experiments.reporting import format_table
 from test_bench_fig7a_dcube_reliability import get_comparison
 
 
-def test_fig7b_dcube_energy(benchmark, pretrained_network, dcube):
+def test_fig7b_dcube_energy(benchmark, pretrained_network):
     comparison = benchmark.pedantic(
-        get_comparison, args=(pretrained_network, dcube), rounds=1, iterations=1
+        get_comparison, args=(pretrained_network,), rounds=1, iterations=1
     )
     level_names = {0: "no interference", 1: "WiFi level 1", 2: "WiFi level 2"}
     rows = []

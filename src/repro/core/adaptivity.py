@@ -82,13 +82,19 @@ class AdaptivityControl:
         self.decisions: int = 0
 
     def encode_view(self, view: GlobalView) -> np.ndarray:
-        """Encode a global view into the DQN input vector."""
-        return self.encoder.encode_round(
-            view.reliabilities,
-            view.radio_on_ms,
+        """Encode a global view into the DQN input vector.
+
+        The view's per-node observables already cover every expected
+        node (silent nodes are filled in pessimistically when the view
+        is assembled), so the encoder can rank the worst-``K`` devices
+        straight from the arrays.
+        """
+        return self.encoder.encode_round_arrays(
+            view.node_ids,
+            view.reliability_array,
+            view.radio_on_array,
             self.n_tx,
             view.had_losses,
-            expected_nodes=list(view.reliabilities),
         )
 
     def decide(self, view: GlobalView) -> AdaptivityDecision:

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.core.adaptivity import AdaptivityControl, AdaptivityDecision
 from repro.core.config import DimmerConfig
 from repro.core.forwarder_selection import ForwarderSelection, ForwarderSelectionConfig, LearningStep
@@ -30,12 +32,19 @@ class ControllerMode(enum.Enum):
 
 @dataclass(frozen=True)
 class RoundCommand:
-    """Command the coordinator disseminates at the start of a round."""
+    """Command the coordinator disseminates at the start of a round.
+
+    ``role_codes`` mirrors ``roles`` in the forwarder selection's
+    ``node_ids``-aligned integer form, letting a store-backed protocol
+    apply all roles with one bulk
+    :meth:`~repro.net.node.NodeStateArray.set_role_codes` call.
+    """
 
     n_tx: int
     mode: ControllerMode
     roles: Dict[int, NodeRole]
     learning_node: Optional[int] = None
+    role_codes: Optional["np.ndarray"] = None
 
     @property
     def forwarder_selection(self) -> bool:
@@ -104,6 +113,7 @@ class DimmerController:
             mode=ControllerMode.ADAPTIVITY,
             roles=roles,
             learning_node=None,
+            role_codes=self.forwarder_selection.suspend_codes(),
         )
         self._pending_command = command
         return command
@@ -142,6 +152,7 @@ class DimmerController:
                 mode=self.mode,
                 roles=step.roles,
                 learning_node=step.learning_node,
+                role_codes=step.role_codes,
             )
         else:
             self.mode = ControllerMode.ADAPTIVITY
@@ -156,6 +167,7 @@ class DimmerController:
                 mode=self.mode,
                 roles=self.forwarder_selection.suspend(),
                 learning_node=None,
+                role_codes=self.forwarder_selection.suspend_codes(),
             )
 
         self._pending_command = command

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.net.node import NodeRole
+from repro.net.node import NodeRole, _ROLE_TO_CODE
 from repro.rl.exp3 import Exp3
 
 #: Arm indices of the per-node bandit.
@@ -58,11 +58,17 @@ class ForwarderSelectionConfig:
 
 @dataclass(frozen=True)
 class LearningStep:
-    """What the forwarder selection decided for one round."""
+    """What the forwarder selection decided for one round.
+
+    ``role_codes`` carries the same decision as ``roles`` in
+    ``node_ids``-aligned integer form, ready for a bulk
+    :meth:`~repro.net.node.NodeStateArray.set_role_codes` apply.
+    """
 
     learning_node: Optional[int]
     chosen_arm: Optional[int]
     roles: Dict[int, NodeRole]
+    role_codes: Optional[np.ndarray] = None
 
 
 class ForwarderSelection:
@@ -114,6 +120,12 @@ class ForwarderSelection:
             node: (NodeRole.COORDINATOR if node == coordinator else NodeRole.FORWARDER)
             for node in self.node_ids
         }
+        #: ``node_ids``-aligned integer mirror of :attr:`roles`, kept in
+        #: sync incrementally (roles change at most one node per round).
+        self._node_row: Dict[int, int] = {node: i for i, node in enumerate(self.node_ids)}
+        self._role_codes = np.array(
+            [_ROLE_TO_CODE[self.roles[node]] for node in self.node_ids], dtype=np.int8
+        )
         self._order_cursor = 0
         self._rounds_into_window = 0
         self._current_arm: Optional[int] = None
@@ -145,6 +157,11 @@ class ForwarderSelection:
     # ------------------------------------------------------------------
     # Per-round protocol
     # ------------------------------------------------------------------
+    def _set_standing_role(self, node: int, role: NodeRole) -> None:
+        """Update one node's standing role (dict and code mirror)."""
+        self.roles[node] = role
+        self._role_codes[self._node_row[node]] = _ROLE_TO_CODE[role]
+
     def begin_round(self) -> LearningStep:
         """Draw the learning node's arm for the upcoming round.
 
@@ -154,12 +171,17 @@ class ForwarderSelection:
         """
         node = self.current_learning_node
         roles = dict(self.roles)
+        codes = self._role_codes.copy()
         if node is None:
-            return LearningStep(learning_node=None, chosen_arm=None, roles=roles)
+            return LearningStep(
+                learning_node=None, chosen_arm=None, roles=roles, role_codes=codes
+            )
         arm = self.bandits[node].select_arm()
         self._current_arm = arm
-        roles[node] = NodeRole.PASSIVE if arm == ARM_PASSIVE else NodeRole.FORWARDER
-        return LearningStep(learning_node=node, chosen_arm=arm, roles=roles)
+        role = NodeRole.PASSIVE if arm == ARM_PASSIVE else NodeRole.FORWARDER
+        roles[node] = role
+        codes[self._node_row[node]] = _ROLE_TO_CODE[role]
+        return LearningStep(learning_node=node, chosen_arm=arm, roles=roles, role_codes=codes)
 
     def observe_round(self, had_losses: bool) -> None:
         """Feed the network-wide outcome of the round back into the bandit.
@@ -180,7 +202,7 @@ class ForwarderSelection:
 
         if had_losses and self._current_arm == ARM_PASSIVE:
             bandit.reset_arm(ARM_PASSIVE)
-            self.roles[node] = NodeRole.FORWARDER
+            self._set_standing_role(node, NodeRole.FORWARDER)
             self.breaking_configurations += 1
 
         self._rounds_into_window += 1
@@ -188,7 +210,9 @@ class ForwarderSelection:
             # End of the window: the node adopts its best arm as its
             # standing role and the token moves to the next node.
             best = bandit.best_arm()
-            self.roles[node] = NodeRole.PASSIVE if best == ARM_PASSIVE else NodeRole.FORWARDER
+            self._set_standing_role(
+                node, NodeRole.PASSIVE if best == ARM_PASSIVE else NodeRole.FORWARDER
+            )
             self._rounds_into_window = 0
             self._order_cursor = (self._order_cursor + 1) % max(1, len(self.learning_order))
         self._current_arm = None
@@ -208,13 +232,19 @@ class ForwarderSelection:
             for node in self.node_ids
         }
 
+    def suspend_codes(self) -> np.ndarray:
+        """``node_ids``-aligned integer form of :meth:`suspend`."""
+        codes = np.full(len(self.node_ids), _ROLE_TO_CODE[NodeRole.FORWARDER], dtype=np.int8)
+        codes[self._node_row[self.coordinator]] = _ROLE_TO_CODE[NodeRole.COORDINATOR]
+        return codes
+
     def reset(self) -> None:
         """Forget everything learned so far."""
         for bandit in self.bandits.values():
             bandit.reset()
         for node in self.node_ids:
             if node != self.coordinator:
-                self.roles[node] = NodeRole.FORWARDER
+                self._set_standing_role(node, NodeRole.FORWARDER)
         self._order_cursor = 0
         self._rounds_into_window = 0
         self._current_arm = None

@@ -16,7 +16,7 @@ from repro.core.adaptivity import AdaptivityControl
 from repro.core.config import DimmerConfig
 from repro.core.controller import ControllerMode, DimmerController, RoundCommand
 from repro.net.lwb import RoundResult
-from repro.net.node import NodeRole
+from repro.net.node import NodeRole, NodeStateArray
 from repro.net.simulator import NetworkSimulator
 from repro.rl.qnetwork import QNetwork
 from repro.rl.quantized import QuantizedNetwork
@@ -79,8 +79,18 @@ class DimmerProtocol:
     # Execution
     # ------------------------------------------------------------------
     def _apply_roles(self, command: RoundCommand) -> None:
+        nodes = self.simulator.nodes
+        if (
+            command.role_codes is not None
+            and isinstance(nodes, NodeStateArray)
+            and nodes.node_ids == tuple(self.controller.forwarder_selection.node_ids)
+        ):
+            # Bulk apply: one masked assignment instead of one Python
+            # call per node (coordinator rows are protected in place).
+            nodes.set_role_codes(command.role_codes)
+            return
         for node_id, role in command.roles.items():
-            node = self.simulator.nodes.get(node_id)
+            node = nodes.get(node_id)
             if node is None or node.is_coordinator:
                 continue
             if role is NodeRole.COORDINATOR:

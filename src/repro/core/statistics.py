@@ -11,16 +11,23 @@ pessimistic values (0 % reliability, 100 % radio-on time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.net.lwb import RoundResult, build_observer_view
+import numpy as np
+
+from repro.net.lwb import RoundResult, build_observer_view, observer_view_arrays
 from repro.net.packet import DimmerFeedbackHeader
 
 
-@dataclass(frozen=True)
 class GlobalView:
     """The coordinator's snapshot of network performance after a round.
+
+    Since PR 3 the view is array-backed: the per-node reliabilities and
+    radio-on times live in NumPy arrays aligned with :attr:`node_ids`
+    (that is how the statistics collector assembles it, without per-node
+    dict bookkeeping), and the dict attributes of the original API are
+    lazy views materialized on first access.  Views can equivalently be
+    built from per-node dicts.
 
     Attributes
     ----------
@@ -40,23 +47,120 @@ class GlobalView:
         Round the view was assembled from.
     """
 
-    reliabilities: Dict[int, float]
-    radio_on_ms: Dict[int, float]
-    missing_feedback: List[int] = field(default_factory=list)
-    had_losses: bool = False
-    round_index: int = 0
+    __slots__ = (
+        "node_ids",
+        "had_losses",
+        "round_index",
+        "_rel_arr",
+        "_radio_arr",
+        "_missing_mask",
+        "_rel_map",
+        "_radio_map",
+        "_missing_list",
+    )
 
+    def __init__(
+        self,
+        reliabilities: Union[Dict[int, float], np.ndarray],
+        radio_on_ms: Union[Dict[int, float], np.ndarray],
+        missing_feedback: Optional[Union[List[int], np.ndarray]] = None,
+        had_losses: bool = False,
+        round_index: int = 0,
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.round_index = round_index
+        if isinstance(reliabilities, np.ndarray):
+            if node_ids is None:
+                raise ValueError("node_ids is required for array-backed construction")
+            self.node_ids = tuple(node_ids)
+            self._rel_arr = np.asarray(reliabilities, dtype=float)
+            self._radio_arr = np.asarray(radio_on_ms, dtype=float)
+            if missing_feedback is None:
+                self._missing_mask = np.zeros(len(self.node_ids), dtype=bool)
+                self._missing_list: Optional[List[int]] = []
+            elif isinstance(missing_feedback, np.ndarray):
+                self._missing_mask = np.asarray(missing_feedback, dtype=bool)
+                self._missing_list = None
+            else:
+                self._missing_mask = None
+                self._missing_list = list(missing_feedback)
+            self._rel_map: Optional[Dict[int, float]] = None
+            self._radio_map: Optional[Dict[int, float]] = None
+        else:
+            self.node_ids = tuple(reliabilities)
+            self._rel_map = dict(reliabilities)
+            self._radio_map = dict(radio_on_ms)
+            self._missing_list = list(missing_feedback) if missing_feedback is not None else []
+            self._missing_mask = None
+            self._rel_arr = None
+            self._radio_arr = None
+        self.had_losses = had_losses
+
+    # ------------------------------------------------------------------
+    # Array accessors
+    # ------------------------------------------------------------------
+    @property
+    def reliability_array(self) -> np.ndarray:
+        """Per-node reliabilities in :attr:`node_ids` order."""
+        if self._rel_arr is None:
+            self._rel_arr = np.fromiter(
+                (float(self._rel_map[n]) for n in self.node_ids),
+                dtype=float,
+                count=len(self.node_ids),
+            )
+        return self._rel_arr
+
+    @property
+    def radio_on_array(self) -> np.ndarray:
+        """Per-node per-slot radio-on times in :attr:`node_ids` order."""
+        if self._radio_arr is None:
+            self._radio_arr = np.fromiter(
+                (float(self._radio_map[n]) for n in self.node_ids),
+                dtype=float,
+                count=len(self.node_ids),
+            )
+        return self._radio_arr
+
+    # ------------------------------------------------------------------
+    # Dict views (API-compatibility shims)
+    # ------------------------------------------------------------------
+    @property
+    def reliabilities(self) -> Dict[int, float]:
+        """Per-node reliability as known to the observer."""
+        if self._rel_map is None:
+            self._rel_map = dict(zip(self.node_ids, self._rel_arr.tolist()))
+        return self._rel_map
+
+    @property
+    def radio_on_ms(self) -> Dict[int, float]:
+        """Per-node per-slot radio-on time as known to the observer."""
+        if self._radio_map is None:
+            self._radio_map = dict(zip(self.node_ids, self._radio_arr.tolist()))
+        return self._radio_map
+
+    @property
+    def missing_feedback(self) -> List[int]:
+        """Sorted nodes whose feedback the observer did not receive."""
+        if self._missing_list is None:
+            self._missing_list = [
+                node for node, flag in zip(self.node_ids, self._missing_mask.tolist()) if flag
+            ]
+        return self._missing_list
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
     def worst_reliability(self) -> float:
         """Lowest per-node reliability in the view (1.0 for an empty view)."""
-        if not self.reliabilities:
+        if len(self.node_ids) == 0:
             return 1.0
-        return min(self.reliabilities.values())
+        return float(self.reliability_array.min())
 
     def average_reliability(self) -> float:
         """Mean per-node reliability in the view (1.0 for an empty view)."""
-        if not self.reliabilities:
+        if len(self.node_ids) == 0:
             return 1.0
-        return sum(self.reliabilities.values()) / len(self.reliabilities)
+        return float(self.reliability_array.sum()) / len(self.node_ids)
 
 
 class StatisticsCollector:
@@ -105,23 +209,19 @@ class StatisticsCollector:
         received, the observer's own local statistics, and the schedule
         (to detect missing packets).
         """
-        view_data = build_observer_view(
+        node_ids, reliabilities, radio_on, missing_mask = observer_view_arrays(
             result,
             observer=self.observer,
             expected_nodes=self.expected_nodes,
             pessimistic_radio_on_ms=self.pessimistic_radio_on_ms,
         )
-        reliabilities = view_data["reliability"]
-        radio_on = view_data["radio_on_ms"]
-        missing = sorted(view_data["missing"])
-
-        had_losses = any(value < 1.0 for value in reliabilities.values())
         view = GlobalView(
             reliabilities=reliabilities,
             radio_on_ms=radio_on,
-            missing_feedback=missing,
-            had_losses=had_losses,
+            missing_feedback=missing_mask,
+            had_losses=bool((reliabilities < 1.0).any()),
             round_index=result.round_index,
+            node_ids=node_ids,
         )
         self._views.append(view)
         del self._views[: -self.loss_history_window]

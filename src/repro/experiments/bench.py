@@ -1,0 +1,254 @@
+"""``repro-bench`` — cached, parallel grid runs from the command line.
+
+Console-script front end for the figure harnesses: every grid fans out
+through :class:`~repro.experiments.runner.ParallelRunner` with an
+on-disk result cache, so re-running a sweep after editing one grid
+point only recomputes the changed tasks.
+
+Examples
+--------
+::
+
+    repro-bench sweep --ratios 0 0.15 0.35 --runs 2
+    repro-bench dcube --rounds 150
+    repro-bench features --dimension input_nodes --values 1 5 10 18
+    repro-bench scenarios --family mobile_jammer --protocols lwb dimmer pid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ParallelRunner, ScenarioTask, stable_seed
+
+#: Default on-disk cache for grid results (content-hash keyed).
+DEFAULT_CACHE_DIR = Path(".repro_bench_cache")
+
+
+def _runner(args: argparse.Namespace) -> ParallelRunner:
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
+    return ParallelRunner(max_workers=args.workers, cache_dir=cache_dir)
+
+
+def _load_network():
+    from repro.experiments.training import load_pretrained_agent
+
+    return load_pretrained_agent(allow_training=False).online
+
+
+def _print_stats(runner: ParallelRunner) -> None:
+    stats = runner.stats
+    print(
+        f"[runner] executed={stats.executed} "
+        f"cache_hits={stats.cache_hits} cache_misses={stats.cache_misses}"
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Fig. 5: protocol x interference-ratio sweep."""
+    from repro.experiments.interference_sweep import run_interference_sweep_parallel
+
+    runner = _runner(args)
+    sweep = run_interference_sweep_parallel(
+        runner,
+        network=_load_network(),
+        ratios=tuple(args.ratios),
+        rounds_per_run=args.rounds,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    rows = []
+    for ratio in sweep.ratios():
+        row = [f"{ratio * 100:.0f}%"]
+        for protocol in ("lwb", "dimmer", "pid"):
+            point = sweep.point(protocol, ratio)
+            row.append(
+                f"{point.metrics.reliability:.3f} / {point.metrics.radio_on_ms:.2f}ms"
+            )
+        rows.append(row)
+    print(format_table(
+        ["interference", "LWB", "Dimmer", "PID"],
+        rows,
+        title="Fig. 5: reliability / radio-on per interference ratio",
+    ))
+    _print_stats(runner)
+    return 0
+
+
+def cmd_dcube(args: argparse.Namespace) -> int:
+    """Fig. 7: D-Cube comparison grid."""
+    from repro.experiments.dcube import run_dcube_comparison_parallel
+
+    runner = _runner(args)
+    comparison = run_dcube_comparison_parallel(
+        runner,
+        network=_load_network(),
+        num_rounds=args.rounds,
+        num_sources=args.sources,
+        seed=args.seed,
+    )
+    rows = []
+    for level in comparison.levels():
+        row = [f"level {level}"]
+        for protocol in ("lwb", "dimmer", "crystal"):
+            result = comparison.get(protocol, level)
+            row.append(f"{result.reliability:.3f} / {result.energy_j:.1f}J")
+        rows.append(row)
+    print(format_table(
+        ["scenario", "LWB", "Dimmer", "Crystal"],
+        rows,
+        title="Fig. 7: D-Cube reliability / energy",
+    ))
+    _print_stats(runner)
+    return 0
+
+
+def cmd_features(args: argparse.Namespace) -> int:
+    """Fig. 4b: DQN feature sweeps (trains one model per value)."""
+    from repro.experiments.feature_selection import run_feature_sweep_parallel
+    from repro.experiments.training import TrainingProfile, default_data_dir
+
+    runner = _runner(args)
+    profile = TrainingProfile(
+        name="bench",
+        trace_repetitions=args.trace_repetitions,
+        training_iterations=args.iterations,
+        anneal_steps=max(1, args.iterations // 2),
+    )
+    result = run_feature_sweep_parallel(
+        runner,
+        args.dimension,
+        values=tuple(args.values),
+        models_per_value=args.models,
+        profile=profile,
+        evaluation_repeats=1,
+        data_dir=default_data_dir(),
+        seed=args.seed,
+    )
+    rows = [
+        [point.value, point.reliability, point.radio_on_ms, point.dqn_size_kb]
+        for point in result.points
+    ]
+    print(format_table(
+        [args.dimension, "reliability", "radio-on [ms]", "DQN size [kB]"],
+        rows,
+        title=f"Fig. 4b: {args.dimension} sweep",
+    ))
+    _print_stats(runner)
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Dimmer vs baselines over the mobile-jammer / node-churn families."""
+    from repro.experiments.runner import network_payload
+
+    runner = _runner(args)
+    experiment = f"{args.family}_run"
+    payload = network_payload(_load_network())
+    tasks: List[ScenarioTask] = []
+    for protocol in args.protocols:
+        for run_index in range(args.runs):
+            params = {
+                "protocol": protocol,
+                "rounds": args.rounds,
+            }
+            if protocol == "dimmer":
+                params["network"] = payload
+            tasks.append(
+                ScenarioTask(
+                    experiment=experiment,
+                    params=params,
+                    seed=stable_seed(args.seed, experiment, protocol, run_index),
+                    label=f"{args.family}:{protocol}#{run_index}",
+                )
+            )
+    results = runner.run(tasks)
+    rows = []
+    cursor = 0
+    for protocol in args.protocols:
+        entries = results[cursor: cursor + args.runs]
+        cursor += args.runs
+        reliability = sum(e["reliability"] for e in entries) / len(entries)
+        radio = sum(e["radio_on_ms"] for e in entries) / len(entries)
+        energy = sum(e["energy_j"] for e in entries) / len(entries)
+        rows.append([protocol, reliability, radio, energy])
+    print(format_table(
+        ["protocol", "reliability", "radio-on [ms]", "energy [J]"],
+        rows,
+        title=f"{args.family} scenario: Dimmer vs baselines",
+    ))
+    _print_stats(runner)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all cores; 1 = inline)",
+    )
+    common.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    common.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    common.add_argument("--seed", type=int, default=0, help="base seed of the grid")
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Cached, parallel benchmark grids for the Dimmer reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser("sweep", help="Fig. 5 interference sweep", parents=[common])
+    sweep.add_argument("--ratios", type=float, nargs="+",
+                       default=[0.0, 0.05, 0.15, 0.25, 0.35])
+    sweep.add_argument("--rounds", type=int, default=75)
+    sweep.add_argument("--runs", type=int, default=3)
+    sweep.set_defaults(func=cmd_sweep)
+
+    dcube = commands.add_parser("dcube", help="Fig. 7 D-Cube comparison", parents=[common])
+    dcube.add_argument("--rounds", type=int, default=200)
+    dcube.add_argument("--sources", type=int, default=5)
+    dcube.set_defaults(func=cmd_dcube)
+
+    features = commands.add_parser(
+        "features", help="Fig. 4b feature sweeps", parents=[common]
+    )
+    features.add_argument("--dimension", choices=("input_nodes", "history"),
+                          default="input_nodes")
+    features.add_argument("--values", type=int, nargs="+", default=[1, 5, 10, 18])
+    features.add_argument("--models", type=int, default=1)
+    features.add_argument("--iterations", type=int, default=4000)
+    features.add_argument("--trace-repetitions", type=int, default=3)
+    features.set_defaults(func=cmd_features)
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="Dimmer vs baselines under mobile-jammer / node-churn",
+        parents=[common],
+    )
+    scenarios.add_argument("--family", choices=("mobile_jammer", "node_churn"),
+                           default="mobile_jammer")
+    scenarios.add_argument("--protocols", nargs="+", default=["lwb", "dimmer", "pid"])
+    scenarios.add_argument("--rounds", type=int, default=40)
+    scenarios.add_argument("--runs", type=int, default=3)
+    scenarios.set_defaults(func=cmd_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-bench`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

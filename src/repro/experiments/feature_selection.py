@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -124,6 +124,48 @@ def _evaluate_model(
     return float(np.mean(reliabilities)), float(np.mean(radio_on)), quantized.report().flash_kb
 
 
+def feature_config_for(dimension: str, value: int) -> FeatureConfig:
+    """The feature configuration one sweep point trains with."""
+    if dimension == "input_nodes":
+        return FeatureConfig(num_input_nodes=value, history_size=2)
+    if dimension == "history":
+        return FeatureConfig(num_input_nodes=10, history_size=value)
+    raise ValueError(f"unknown sweep dimension: {dimension!r}")
+
+
+def train_and_evaluate_point(
+    dimension: str,
+    value: int,
+    topology: Topology,
+    profile: TrainingProfile,
+    training_episodes: Sequence[EpisodeSpec],
+    evaluation_episodes: Sequence[EpisodeSpec],
+    evaluation_repeats: int,
+    data_dir: Optional[Path],
+    train_seed: int,
+    eval_seed: int,
+) -> tuple:
+    """Train one model for one swept value and greedy-evaluate it.
+
+    This is the unit of work both the serial sweep and the
+    ``feature_sweep_point`` runner experiment execute; returns
+    ``(reliability, radio_on_ms, dqn_size_kb)``.
+    """
+    config = feature_config_for(dimension, value)
+    pipeline = TrainingPipeline(
+        topology=topology,
+        feature_config=config,
+        profile=profile,
+        episodes=training_episodes,
+        seed=train_seed,
+        **({"data_dir": data_dir} if data_dir is not None else {}),
+    )
+    agent, _ = pipeline.train()
+    return _evaluate_model(
+        agent, config, topology, evaluation_episodes, evaluation_repeats, seed=eval_seed
+    )
+
+
 def _sweep(
     dimension: str,
     values: Sequence[int],
@@ -142,28 +184,17 @@ def _sweep(
         radio_on: List[float] = []
         size_kb = 0.0
         for model_index in range(models_per_value):
-            if dimension == "input_nodes":
-                config = FeatureConfig(num_input_nodes=value, history_size=2)
-            elif dimension == "history":
-                config = FeatureConfig(num_input_nodes=10, history_size=value)
-            else:
-                raise ValueError(f"unknown sweep dimension: {dimension!r}")
-            pipeline = TrainingPipeline(
-                topology=topology,
-                feature_config=config,
-                profile=profile,
-                episodes=training_episodes,
-                seed=seed + 31 * model_index,
-                **({"data_dir": data_dir} if data_dir is not None else {}),
-            )
-            agent, _ = pipeline.train()
-            reliability, radio, size_kb = _evaluate_model(
-                agent,
-                config,
+            reliability, radio, size_kb = train_and_evaluate_point(
+                dimension,
+                value,
                 topology,
+                profile,
+                training_episodes,
                 evaluation_episodes,
                 evaluation_repeats,
-                seed=seed + 7 + model_index,
+                data_dir,
+                train_seed=seed + 31 * model_index,
+                eval_seed=seed + 7 + model_index,
             )
             reliabilities.append(reliability)
             radio_on.append(radio)
@@ -175,6 +206,103 @@ def _sweep(
                 reliability=float(np.mean(reliabilities)),
                 reliability_std=float(np.std(reliabilities)),
                 dqn_size_kb=size_kb,
+                models=models_per_value,
+            )
+        )
+    return result
+
+
+def run_feature_sweep_parallel(
+    runner: "ParallelRunner",
+    dimension: str,
+    values: Sequence[int],
+    topology_spec: Optional[Dict] = None,
+    models_per_value: int = 3,
+    profile: Optional[TrainingProfile] = None,
+    training_episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES,
+    evaluation_episodes: Sequence[EpisodeSpec] = EVALUATION_EPISODES,
+    evaluation_repeats: int = 2,
+    data_dir: Optional[Path] = None,
+    seed: int = 0,
+) -> FeatureSweepResult:
+    """Run one Fig. 4b panel through a :class:`ParallelRunner`.
+
+    Every (value, model) pair becomes one cached, deterministic task
+    executing :func:`train_and_evaluate_point` in a worker; seeds match
+    the serial :func:`_sweep`, so results are identical.  The shared
+    trace set is collected once up front (it does not depend on the
+    swept value), so workers only train and evaluate.
+    """
+    from repro.experiments.runner import ScenarioTask, build_topology
+
+    profile = profile if profile is not None else TrainingProfile.fast()
+    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "kiel"}
+    topology = build_topology(topology_spec)
+
+    if data_dir is not None and values:
+        # Pre-collect the shared traces so the fan-out does not collect
+        # them once per worker (the trace key is independent of the
+        # swept dimension; per-model seeds beyond the first still
+        # collect their own, protected by the atomic trace save).
+        TrainingPipeline(
+            topology=topology,
+            feature_config=feature_config_for(dimension, values[0]),
+            profile=profile,
+            episodes=training_episodes,
+            data_dir=data_dir,
+            seed=seed,
+        ).collect_traces()
+
+    profile_payload = {
+        "name": profile.name,
+        "trace_repetitions": profile.trace_repetitions,
+        "training_iterations": profile.training_iterations,
+        "anneal_steps": profile.anneal_steps,
+    }
+    tasks = []
+    for value in values:
+        for model_index in range(models_per_value):
+            tasks.append(
+                ScenarioTask(
+                    experiment="feature_sweep_point",
+                    params={
+                        "dimension": dimension,
+                        "value": int(value),
+                        "topology": topology_spec,
+                        "profile": profile_payload,
+                        "training_episodes": [
+                            [[int(r), float(x)] for r, x in episode]
+                            for episode in training_episodes
+                        ],
+                        "evaluation_episodes": [
+                            [[int(r), float(x)] for r, x in episode]
+                            for episode in evaluation_episodes
+                        ],
+                        "evaluation_repeats": int(evaluation_repeats),
+                        "data_dir": str(data_dir) if data_dir is not None else None,
+                        "eval_seed": seed + 7 + model_index,
+                    },
+                    seed=seed + 31 * model_index,
+                    label=f"fig4b:{dimension}={value}#{model_index}",
+                )
+            )
+    flat = runner.run(tasks)
+
+    result = FeatureSweepResult(dimension=dimension)
+    cursor = 0
+    for value in values:
+        entries = flat[cursor: cursor + models_per_value]
+        cursor += models_per_value
+        reliabilities = [entry["reliability"] for entry in entries]
+        radio_on = [entry["radio_on_ms"] for entry in entries]
+        result.points.append(
+            FeatureSweepPoint(
+                value=int(value),
+                radio_on_ms=float(np.mean(radio_on)),
+                radio_on_std_ms=float(np.std(radio_on)),
+                reliability=float(np.mean(reliabilities)),
+                reliability_std=float(np.std(reliabilities)),
+                dqn_size_kb=float(entries[-1]["dqn_size_kb"]),
                 models=models_per_value,
             )
         )

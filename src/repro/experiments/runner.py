@@ -34,13 +34,14 @@ import hashlib
 import json
 import multiprocessing
 import os
-import tempfile
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
+
+from repro.net.trace import atomic_write_json
 
 #: Registry of experiment functions runnable by :class:`ParallelRunner`.
 #: Each entry maps a name to ``fn(seed=..., **params) -> dict`` where the
@@ -214,17 +215,8 @@ class ParallelRunner:
         path = self._cache_path(task)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so concurrent runners never read a torn file.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
+        atomic_write_json(path, result)
 
     # ------------------------------------------------------------------
     # Execution
@@ -516,18 +508,111 @@ def run_trace_episode(
     return {"records": records}
 
 
+@register_experiment("feature_sweep_point")
+def run_feature_sweep_point(
+    seed: int = 0,
+    dimension: str = "input_nodes",
+    value: int = 10,
+    topology: Optional[Mapping[str, Any]] = None,
+    profile: Optional[Mapping[str, Any]] = None,
+    training_episodes: Sequence[Sequence[Sequence[float]]] = (),
+    evaluation_episodes: Sequence[Sequence[Sequence[float]]] = (),
+    evaluation_repeats: int = 1,
+    data_dir: Optional[str] = None,
+    eval_seed: int = 0,
+) -> Dict[str, Any]:
+    """One (value, model) point of the Fig. 4b feature sweeps.
+
+    ``seed`` is the training-pipeline seed; trained weights and traces
+    are cached under ``data_dir`` (atomic writes keep concurrent
+    workers safe), so re-running a sweep is nearly free.
+    """
+    from pathlib import Path
+
+    from repro.experiments.feature_selection import train_and_evaluate_point
+    from repro.experiments.training import TrainingProfile
+
+    topo = build_topology(topology or {"kind": "kiel"})
+    profile = dict(profile or {})
+    training_profile = TrainingProfile(
+        name=str(profile.get("name", "fast")),
+        trace_repetitions=int(profile.get("trace_repetitions", 1)),
+        training_iterations=int(profile.get("training_iterations", 8000)),
+        anneal_steps=int(profile.get("anneal_steps", 4000)),
+    )
+    episodes = [
+        tuple((int(rounds), float(ratio)) for rounds, ratio in episode)
+        for episode in training_episodes
+    ]
+    eval_episodes = [
+        tuple((int(rounds), float(ratio)) for rounds, ratio in episode)
+        for episode in evaluation_episodes
+    ]
+    reliability, radio_on_ms, dqn_size_kb = train_and_evaluate_point(
+        dimension,
+        int(value),
+        topo,
+        training_profile,
+        episodes,
+        eval_episodes,
+        int(evaluation_repeats),
+        Path(data_dir) if data_dir else None,
+        train_seed=seed,
+        eval_seed=int(eval_seed),
+    )
+    return {
+        "value": int(value),
+        "reliability": float(reliability),
+        "radio_on_ms": float(radio_on_ms),
+        "dqn_size_kb": float(dqn_size_kb),
+    }
+
+
+def _scenario_protocol(protocol: str, simulator, network: Optional[Mapping[str, Any]]):
+    """Build the protocol runner for a scenario experiment.
+
+    ``"lwb"`` returns ``None`` (the caller drives plain static rounds);
+    ``"dimmer"`` and ``"pid"`` return protocol objects whose
+    ``run_round`` closes the corresponding adaptation loop.
+    """
+    if protocol == "lwb":
+        return None
+    if protocol == "dimmer":
+        from repro.core.config import DimmerConfig
+        from repro.core.protocol import DimmerProtocol
+
+        if network is None:
+            raise ValueError("the Dimmer runs need a trained policy network")
+        return DimmerProtocol(
+            simulator,
+            network_from_payload(network),
+            DimmerConfig(channel_hopping=False, enable_forwarder_selection=False),
+        )
+    if protocol == "pid":
+        from repro.baselines.pid import PIDProtocol
+
+        return PIDProtocol(simulator)
+    raise ValueError(f"unsupported protocol: {protocol!r}")
+
+
 @register_experiment("mobile_jammer_run")
 def run_mobile_jammer_task(
     seed: int = 0,
     topology: Optional[Mapping[str, Any]] = None,
+    protocol: str = "lwb",
     n_tx: int = 3,
     rounds: int = 40,
     round_period_s: float = 1.0,
     interference_ratio: float = 0.3,
     speed_mps: float = 1.0,
     engine: str = "vectorized",
+    network: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Static LWB under a jammer patrolling across the deployment."""
+    """A protocol under a jammer patrolling across the deployment.
+
+    ``protocol`` selects static LWB (default), Dimmer (needs a
+    ``network`` payload) or the PID baseline.
+    """
     from repro.experiments.scenarios import MobileJammerScenario
     from repro.net.simulator import NetworkSimulator, SimulatorConfig
 
@@ -541,18 +626,26 @@ def run_mobile_jammer_task(
             round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
         ),
     )
+    runner = _scenario_protocol(protocol, simulator, network)
     for _ in range(rounds):
         simulator.set_interference(scenario.interference_at(simulator.time_ms / 1000.0))
-        simulator.run_round(n_tx=n_tx)
+        if runner is None:
+            simulator.run_round(n_tx=n_tx)
+        else:
+            runner.run_round()
     from repro.experiments.metrics import summarize_round_results
 
-    return summarize_round_results(simulator.round_history).as_dict()
+    summary = summarize_round_results(simulator.round_history).as_dict()
+    summary["protocol"] = protocol
+    summary["energy_j"] = simulator.total_energy_j()
+    return summary
 
 
 @register_experiment("node_churn_run")
 def run_node_churn_task(
     seed: int = 0,
     topology: Optional[Mapping[str, Any]] = None,
+    protocol: str = "lwb",
     n_tx: int = 3,
     rounds: int = 40,
     round_period_s: float = 1.0,
@@ -560,8 +653,9 @@ def run_node_churn_task(
     min_outage_rounds: int = 3,
     max_outage_rounds: int = 8,
     engine: str = "vectorized",
+    network: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Static LWB while sources churn (nodes leave and rejoin the bus)."""
+    """A protocol while sources churn (nodes leave and rejoin the bus)."""
     from repro.experiments.scenarios import NodeChurnScenario
     from repro.net.simulator import NetworkSimulator, SimulatorConfig
 
@@ -579,14 +673,20 @@ def run_node_churn_task(
             round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
         ),
     )
+    runner = _scenario_protocol(protocol, simulator, network)
     active_counts: List[int] = []
     for round_index in range(rounds):
         sources = scenario.active_sources(round_index)
         active_counts.append(len(sources))
         simulator.set_sources(sources)
-        simulator.run_round(n_tx=n_tx)
+        if runner is None:
+            simulator.run_round(n_tx=n_tx)
+        else:
+            runner.run_round(sources=sources)
     from repro.experiments.metrics import summarize_round_results
 
     summary = summarize_round_results(simulator.round_history).as_dict()
     summary["average_active_sources"] = float(np.mean(active_counts))
+    summary["protocol"] = protocol
+    summary["energy_j"] = simulator.total_energy_j()
     return summary

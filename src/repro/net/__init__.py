@@ -18,7 +18,13 @@ from repro.net.channels import (
     ChannelHopper,
     wifi_overlap,
 )
-from repro.net.energy import EnergyModel, RadioOnTracker
+from repro.net.energy import (
+    EnergyModel,
+    RadioOnColumns,
+    RadioOnLedger,
+    RadioOnTracker,
+    RadioOnView,
+)
 from repro.net.glossy import FLOOD_ENGINES, FloodResult, GlossyFlood
 from repro.net.interference import (
     AmbientInterference,
@@ -30,7 +36,7 @@ from repro.net.interference import (
 )
 from repro.net.link import LinkModel, LinkQuality
 from repro.net.lwb import LWBRound, LWBRoundEngine, RoundResult, Schedule, SlotResult
-from repro.net.node import Node, NodeRole, NodeStatistics
+from repro.net.node import Node, NodeRole, NodeStateArray, NodeStatistics
 from repro.net.packet import (
     DimmerFeedbackHeader,
     DataPacket,
@@ -48,7 +54,10 @@ __all__ = [
     "ChannelHopper",
     "wifi_overlap",
     "EnergyModel",
+    "RadioOnColumns",
+    "RadioOnLedger",
     "RadioOnTracker",
+    "RadioOnView",
     "FLOOD_ENGINES",
     "FloodResult",
     "GlossyFlood",
@@ -67,6 +76,7 @@ __all__ = [
     "SlotResult",
     "Node",
     "NodeRole",
+    "NodeStateArray",
     "NodeStatistics",
     "DimmerFeedbackHeader",
     "DataPacket",

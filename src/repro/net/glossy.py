@@ -201,6 +201,21 @@ class FloodResult:
             self._radio_map = dict(zip(self.node_ids, self._radio_arr.tolist()))
         return self._radio_map
 
+    def received_at(self, node: int) -> bool:
+        """Whether ``node`` decoded the packet, without materializing dicts.
+
+        Nodes absent from the flood count as not received.  A
+        materialized ``received`` view wins once it exists (views are
+        the mutable face of the result), so in-place edits stay visible.
+        """
+        if self._received_map is not None:
+            return bool(self._received_map.get(node, False))
+        try:
+            index = self.node_ids.index(node)
+        except ValueError:
+            return False
+        return bool(self._received_arr[index])
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
@@ -496,6 +511,105 @@ class GlossyFlood:
             num_phases=num_phases,
         )
 
+    def run_batch(
+        self,
+        initiators: Sequence[int],
+        n_tx: Union[int, Mapping[int, int], np.ndarray],
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        channels: Union[int, Sequence[int]] = 26,
+        start_times: Union[float, Sequence[float]] = 0.0,
+        interference: Optional[InterferenceSource] = None,
+        participants: Optional[np.ndarray] = None,
+        max_slot_ms: Optional[float] = None,
+    ) -> List[FloodResult]:
+        """Simulate several independent floods in one batched phase loop.
+
+        The floods of one LWB round's data slots never interact — they
+        share the participant set and the per-node ``n_tx`` budget but
+        differ only in initiator, channel and start time — so the whole
+        group can advance through the phase loop together with ``(K, N)``
+        state arrays, amortizing the per-phase NumPy dispatch overhead
+        across the batch.
+
+        The result list is **bit-for-bit identical** to calling
+        :meth:`run` once per flood in order under the same generator:
+        the random draws are generated flood by flood (preserving the
+        stream), and every per-phase update applies the same arithmetic
+        to the same values.  The scalar engine simply loops :meth:`run`.
+
+        Parameters
+        ----------
+        initiators:
+            Initiating node of each flood, in execution order.
+        n_tx:
+            Shared retransmission budget (any form :meth:`run` accepts);
+            each flood's initiator transmits at least once.
+        channels, start_times:
+            Per-flood channel / slot start, or one value for all floods.
+        participants:
+            Optional boolean participation mask shared by all floods.
+        """
+        count = len(initiators)
+        channel_list = (
+            [int(channels)] * count
+            if isinstance(channels, (int, np.integer))
+            else [int(c) for c in channels]
+        )
+        start_list = (
+            [float(start_times)] * count
+            if isinstance(start_times, (int, float, np.floating))
+            else [float(t) for t in start_times]
+        )
+        if len(channel_list) != count or len(start_list) != count:
+            raise ValueError("channels and start_times must match initiators")
+        if self.engine != "vectorized" or count <= 1:
+            return [
+                self.run(
+                    initiator=initiator,
+                    n_tx=n_tx,
+                    packet_bytes=packet_bytes,
+                    channel=channel_list[k],
+                    start_ms=start_list[k],
+                    interference=interference,
+                    participants=participants,
+                    max_slot_ms=max_slot_ms,
+                )
+                for k, initiator in enumerate(initiators)
+            ]
+
+        index = self.link_model.node_index
+        part_mask: Optional[np.ndarray] = None
+        if participants is not None:
+            part_mask = np.asarray(participants, dtype=bool)
+            if part_mask.shape != (self._n,):
+                raise ValueError("participant mask must have one entry per node")
+            if bool(part_mask.all()):
+                part_mask = None
+        init_rows = []
+        for initiator in initiators:
+            row = index.get(initiator)
+            if row is None or (part_mask is not None and not part_mask[row]):
+                raise ValueError(f"initiator {initiator} is not among the participants")
+            init_rows.append(row)
+        interference = interference if interference is not None else NoInterference()
+        slot_ms = max_slot_ms if max_slot_ms is not None else self.radio.max_slot_ms
+        phase_ms = self.radio.phase_duration_ms(packet_bytes)
+        num_phases = max(1, int(math.floor(slot_ms / phase_ms)))
+
+        base_n_tx = self._n_tx_vector(n_tx, part_mask, None)
+        return self._run_vectorized_batch(
+            initiators=list(initiators),
+            init_rows=np.array(init_rows, dtype=np.int64),
+            part_mask=part_mask,
+            base_n_tx=base_n_tx,
+            channels=channel_list,
+            start_times=start_list,
+            interference=interference,
+            slot_ms=slot_ms,
+            phase_ms=phase_ms,
+            num_phases=num_phases,
+        )
+
     def _run_scalar(
         self,
         initiator: int,
@@ -647,6 +761,10 @@ class GlossyFlood:
             penalty_timeline = interference.penalty_timeline(
                 self._coords, start_ms, phase_ms, num_phases, channel
             )
+            # A row of zeros multiplies the probabilities by exactly 1.0,
+            # so skipping it is bit-identical and spares two vector
+            # operations for every clean phase of the slot.
+            penalized_phases = penalty_timeline.any(axis=1)
         # Participants whose radio is still on.
         on_air = np.ones(n_all, dtype=bool) if part_mask is None else part_mask.copy()
         for phase in range(num_phases):
@@ -675,7 +793,7 @@ class GlossyFlood:
                 probabilities = 1.0 - link_failure[tx_indices].prod(axis=0)
                 probabilities *= boost_factor
                 np.minimum(probabilities, 1.0, out=probabilities)
-            if not no_interference:
+            if not no_interference and penalized_phases[phase]:
                 probabilities = probabilities * (1.0 - penalty_timeline[phase])
             # Transmitters cannot listen (transmit is a subset of
             # on_air, so the XOR is exactly "on air and not sending");
@@ -739,3 +857,160 @@ class GlossyFlood:
             channel=channel,
             node_ids=self._ids_arr[rows].tolist(),
         )
+
+    def _run_vectorized_batch(
+        self,
+        initiators: List[int],
+        init_rows: np.ndarray,
+        part_mask: Optional[np.ndarray],
+        base_n_tx: np.ndarray,
+        channels: List[int],
+        start_times: List[float],
+        interference: InterferenceSource,
+        slot_ms: float,
+        phase_ms: float,
+        num_phases: int,
+    ) -> List[FloodResult]:
+        """Advance ``K`` independent floods through one shared phase loop.
+
+        State lives in ``(K, N)`` arrays (one row per flood); every
+        per-phase operation of :meth:`_run_vectorized` maps onto the
+        batch unchanged, except the reception-probability assembly,
+        which stays per-flood because each flood has its own transmitter
+        set.  Floods without a transmitter in a given phase get an
+        all-zero probability row, which makes every update a no-op for
+        them — exactly the phases :meth:`_run_vectorized` skips — so
+        batch results equal sequential results bit for bit.
+        """
+        n_all = self._n
+        count = len(initiators)
+        arange_k = np.arange(count)
+
+        received = np.zeros((count, n_all), dtype=bool)
+        reception_phase = np.full((count, n_all), -1, dtype=np.int64)
+        transmissions = np.zeros((count, n_all), dtype=np.int64)
+        next_tx = np.full((count, n_all), -1, dtype=np.int64)
+        off_after = np.full((count, n_all), -1, dtype=np.int64)
+
+        n_tx_vec = np.broadcast_to(base_n_tx, (count, n_all)).copy()
+        n_tx_vec[arange_k, init_rows] = np.maximum(1, n_tx_vec[arange_k, init_rows])
+
+        received[arange_k, init_rows] = True
+        reception_phase[arange_k, init_rows] = 0
+        next_tx[arange_k, init_rows] = 0
+
+        # One batched draw per flood, in flood order: the generator
+        # stream is consumed exactly as by sequential :meth:`run` calls.
+        draws = np.stack(
+            [self.rng.random((num_phases, n_all)) for _ in range(count)], axis=1
+        )  # (num_phases, K, N)
+        prr = self.link_model.prr_matrix()
+        link_failure = self.link_model._failure_matrix
+        boost_factor = 1.0 + self.link_model.capture_boost
+        no_interference = isinstance(interference, NoInterference)
+        if not no_interference:
+            # One evaluation covers every (flood, phase) window of the
+            # batch; each row equals the corresponding row of the
+            # per-flood ``penalty_timeline`` call.
+            phase_offsets = phase_ms * np.arange(num_phases)
+            window_starts = (np.asarray(start_times)[:, None] + phase_offsets).ravel()
+            window_channels = np.repeat(np.asarray(channels, dtype=np.int64), num_phases)
+            windows = interference.penalty_windows(
+                self._coords, window_starts, phase_ms, window_channels
+            )
+            timelines = windows.reshape(count, num_phases, n_all).transpose(1, 0, 2)
+            penalized_phases = timelines.any(axis=2)  # (num_phases, K)
+
+        if part_mask is None:
+            on_air = np.ones((count, n_all), dtype=bool)
+        else:
+            on_air = np.broadcast_to(part_mask, (count, n_all)).copy()
+        probabilities = np.zeros((count, n_all))
+        stale_rows: List[int] = []
+        for phase in range(num_phases):
+            transmit = next_tx == phase
+            tx_counts = transmit.sum(axis=1)
+            active = np.flatnonzero(tx_counts)
+            if len(active) == 0:
+                # No flood transmits: no state can change this phase.
+                continue
+            # Per-flood probability rows (each flood has its own
+            # transmitter set); inactive floods keep an all-zero row,
+            # turning every update below into a no-op for them.  Rows
+            # written in an earlier phase are zeroed individually —
+            # rows of floods active again get overwritten below anyway.
+            active_set = set(active.tolist())
+            for k in stale_rows:
+                if k not in active_set:
+                    probabilities[k] = 0.0
+            stale_rows = active.tolist()
+            for k in active:
+                tx_indices = transmit[k].nonzero()[0]
+                row = probabilities[k]
+                if len(tx_indices) == 1:
+                    np.copyto(row, prr[tx_indices[0]])
+                else:
+                    np.subtract(1.0, link_failure[tx_indices].prod(axis=0), out=row)
+                    row *= boost_factor
+                    np.minimum(row, 1.0, out=row)
+                if not no_interference and penalized_phases[phase, k]:
+                    row *= 1.0 - timelines[phase, k]
+            success = (draws[phase] < probabilities) & (on_air ^ transmit)
+            newly = success & ~received
+            received |= newly
+            reception_phase[newly] = phase
+            rearm = success & (transmissions < n_tx_vec) & (next_tx < 0)
+            next_tx[rearm] = phase + 1
+
+            transmissions += transmit
+            budget_spent = transmissions >= n_tx_vec
+            spent = transmit & budget_spent
+            again = transmit ^ spent
+            next_tx[again] = phase + 2
+            next_tx[spent] = -1
+            off_after[spent] = phase + 1
+            on_air ^= spent
+
+            done = on_air & received & budget_spent & (next_tx < 0)
+            if done.any():
+                off_after[done] = phase + 1
+                on_air ^= done
+
+            if not (next_tx >= 0).any():
+                break
+
+        on_phases = np.where(off_after < 0, num_phases, np.minimum(off_after, num_phases))
+        radio_on = np.minimum(slot_ms, on_phases * phase_ms)
+
+        results: List[FloodResult] = []
+        if part_mask is None:
+            for k, initiator in enumerate(initiators):
+                results.append(
+                    FloodResult(
+                        initiator=initiator,
+                        received=received[k],
+                        reception_phase=reception_phase[k],
+                        transmissions=transmissions[k],
+                        radio_on_ms=radio_on[k],
+                        slot_duration_ms=slot_ms,
+                        channel=channels[k],
+                        node_ids=self.node_ids,
+                    )
+                )
+            return results
+        rows = np.flatnonzero(part_mask)
+        row_ids = self._ids_arr[rows].tolist()
+        for k, initiator in enumerate(initiators):
+            results.append(
+                FloodResult(
+                    initiator=initiator,
+                    received=received[k, rows],
+                    reception_phase=reception_phase[k, rows],
+                    transmissions=transmissions[k, rows],
+                    radio_on_ms=radio_on[k, rows],
+                    slot_duration_ms=slot_ms,
+                    channel=channels[k],
+                    node_ids=row_ids,
+                )
+            )
+        return results

@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -150,6 +150,46 @@ class InterferenceSource(abc.ABC):
             ]
         )
 
+    def penalty_windows(
+        self,
+        positions: np.ndarray,
+        starts_ms: np.ndarray,
+        duration_ms: float,
+        channels: "Union[int, np.ndarray]",
+    ) -> np.ndarray:
+        """Penalties of arbitrary reception windows in one evaluation.
+
+        Generalizes :meth:`penalty_timeline` to non-uniform window
+        starts and per-window channels: returns an ``(M, N)`` array
+        whose row ``m`` equals ``penalty_batch(positions, starts_ms[m],
+        duration_ms, channels[m])``.  The LWB round engine uses it to
+        evaluate the timelines of *all* data slots of a round in one
+        call.  The default implementation stacks :meth:`penalty_batch`
+        rows, so any subclass is automatically consistent; the built-in
+        sources override it with closed-form NumPy versions.
+        """
+        positions = np.asarray(positions, dtype=float)
+        starts_ms = np.asarray(starts_ms, dtype=float)
+        if len(starts_ms) == 0:
+            return np.zeros((0, len(positions)))
+        channel_list = self._window_channels(channels, len(starts_ms))
+        return np.stack(
+            [
+                self.penalty_batch(positions, float(start), duration_ms, channel)
+                for start, channel in zip(starts_ms, channel_list)
+            ]
+        )
+
+    @staticmethod
+    def _window_channels(channels: "Union[int, np.ndarray]", count: int) -> List[int]:
+        """Normalize the per-window channel argument to a list."""
+        if isinstance(channels, (int, np.integer)):
+            return [int(channels)] * count
+        channel_list = [int(c) for c in channels]
+        if len(channel_list) != count:
+            raise ValueError("channels must be scalar or match the window count")
+        return channel_list
+
 
 @dataclass
 class NoInterference(InterferenceSource):
@@ -175,6 +215,15 @@ class NoInterference(InterferenceSource):
         channel: int,
     ) -> np.ndarray:
         return np.zeros((max(0, num_phases), len(positions)))
+
+    def penalty_windows(
+        self,
+        positions: np.ndarray,
+        starts_ms: np.ndarray,
+        duration_ms: float,
+        channels: Union[int, np.ndarray],
+    ) -> np.ndarray:
+        return np.zeros((len(np.asarray(starts_ms)), len(positions)))
 
 
 @dataclass
@@ -310,34 +359,50 @@ class BurstJammer(InterferenceSource):
         num_phases: int,
         channel: int,
     ) -> np.ndarray:
-        positions = np.asarray(positions, dtype=float)
-        timeline = np.zeros((max(0, num_phases), len(positions)))
-        if num_phases <= 0 or phase_ms <= 0 or self.interference_ratio <= 0.0:
-            return timeline
-        if self.channels is not None and channel not in self.channels:
-            return timeline
+        if num_phases <= 0:
+            return np.zeros((0, len(np.asarray(positions))))
         starts = start_ms + phase_ms * np.arange(num_phases)
-        active = np.ones(num_phases, dtype=bool)
+        return self.penalty_windows(positions, starts, phase_ms, channel)
+
+    def penalty_windows(
+        self,
+        positions: np.ndarray,
+        starts_ms: np.ndarray,
+        duration_ms: float,
+        channels: Union[int, np.ndarray],
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        starts = np.asarray(starts_ms, dtype=float)
+        count = len(starts)
+        timeline = np.zeros((count, len(positions)))
+        if count == 0 or duration_ms <= 0 or self.interference_ratio <= 0.0:
+            return timeline
+        active = np.ones(count, dtype=bool)
+        if isinstance(channels, (int, np.integer)):
+            if self.channels is not None and int(channels) not in self.channels:
+                return timeline
+        elif self.channels is not None:
+            active &= np.isin(np.asarray(channels), np.asarray(self.channels))
         if self.start_ms is not None:
             active &= starts >= self.start_ms
         if self.end_ms is not None:
             active &= starts < self.end_ms
         if not active.any():
             return timeline
-        # Burst-overlap fractions of every phase window in one shot: the
-        # candidate burst range covers the whole slot, and bursts outside
+        # Burst-overlap fractions of every window in one shot: the
+        # candidate burst range covers all windows, and bursts outside
         # a given window contribute an exact 0 to its covered sum, so
         # each row reproduces ``burst_overlap_fraction`` bit for bit.
         period = self.period_ms
         origin = (self.start_ms or 0.0) + self.phase_ms
-        ends = starts + phase_ms
-        first_burst = math.floor((starts[0] - origin) / period) - 1
-        last_burst = math.ceil((ends[-1] - origin) / period) + 1
+        ends = starts + duration_ms
+        first_burst = math.floor((starts.min() - origin) / period) - 1
+        last_burst = math.ceil((ends.max() - origin) / period) + 1
         burst_starts = origin + period * np.arange(int(first_burst), int(last_burst) + 1)
         overlap = np.minimum(ends[:, None], burst_starts[None, :] + self.burst_ms)
         overlap -= np.maximum(starts[:, None], burst_starts[None, :])
         covered = np.clip(overlap, 0.0, None).sum(axis=1)
-        fraction = np.minimum(1.0, covered / phase_ms)
+        fraction = np.minimum(1.0, covered / duration_ms)
         jams = active & (fraction > BURST_OVERLAP_DECODE_THRESHOLD)
         if jams.any():
             timeline[jams] = self._spatial_factor_batch(positions)[None, :]
@@ -500,29 +565,70 @@ class WifiInterference(InterferenceSource):
         num_phases: int,
         channel: int,
     ) -> np.ndarray:
-        positions = np.asarray(positions, dtype=float)
-        timeline = np.zeros((max(0, num_phases), len(positions)))
-        if num_phases <= 0 or phase_ms <= 0:
-            return timeline
-        spectral = max(wifi_overlap(channel, wifi) for wifi in self.wifi_channels)
-        spectral = max(spectral, self.spectral_floor)
-        if spectral <= 0.0:
-            return timeline
+        if num_phases <= 0:
+            return np.zeros((0, len(np.asarray(positions))))
         starts = start_ms + phase_ms * np.arange(num_phases)
-        active = np.ones(num_phases, dtype=bool)
+        return self.penalty_windows(positions, starts, phase_ms, channel)
+
+    def _spectral_factor(self, channel: int) -> float:
+        """Worst-case WiFi overlap of one 802.15.4 channel, floored."""
+        spectral = max(wifi_overlap(channel, wifi) for wifi in self.wifi_channels)
+        return max(spectral, self.spectral_floor)
+
+    def penalty_windows(
+        self,
+        positions: np.ndarray,
+        starts_ms: np.ndarray,
+        duration_ms: float,
+        channels: Union[int, np.ndarray],
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        starts = np.asarray(starts_ms, dtype=float)
+        count = len(starts)
+        timeline = np.zeros((count, len(positions)))
+        if count == 0 or duration_ms <= 0:
+            return timeline
+        if isinstance(channels, (int, np.integer)):
+            spectral = np.full(count, self._spectral_factor(int(channels)))
+        else:
+            channel_arr = np.asarray(channels)
+            factor_by_channel = {
+                int(c): self._spectral_factor(int(c)) for c in np.unique(channel_arr)
+            }
+            spectral = np.array([factor_by_channel[int(c)] for c in channel_arr])
+        active = spectral > 0.0
         if self.start_ms is not None:
             active &= starts >= self.start_ms
         if self.end_ms is not None:
             active &= starts < self.end_ms
-        occupancy = np.fromiter(
-            (self._burst_active(float(s), phase_ms) for s in starts),
-            dtype=float,
-            count=num_phases,
-        )
+        if not active.any():
+            return timeline
+        # Vectorized ``_burst_active``: each window overlaps at most the
+        # burst of its own period and the previous period's spill-over;
+        # the memoized per-period offsets keep the draw deterministic.
+        ends = starts + duration_ms
+        period_index = np.floor_divide(starts, self.period_ms).astype(np.int64)
+        offsets = {
+            int(i): self._burst_offset(int(i))
+            for i in np.unique(np.concatenate([period_index, period_index - 1]))
+            if i >= 0
+        }
+        overlap = np.zeros(count)
+        for shift in (0, -1):
+            indices = period_index + shift
+            burst_starts = indices * self.period_ms + np.array(
+                [offsets.get(int(i), 0.0) for i in indices]
+            )
+            burst_overlap = np.minimum(ends, burst_starts + self.burst_ms)
+            burst_overlap -= np.maximum(starts, burst_starts)
+            np.clip(burst_overlap, 0.0, None, out=burst_overlap)
+            burst_overlap[indices < 0] = 0.0
+            overlap += burst_overlap
+        occupancy = np.minimum(1.0, overlap / duration_ms)
         jams = active & (occupancy > BURST_OVERLAP_DECODE_THRESHOLD)
         if jams.any():
-            base = np.minimum(1.0, spectral * self._spatial_factor_batch(positions))
-            timeline[jams] = base[None, :]
+            spatial = self._spatial_factor_batch(positions)
+            timeline[jams] = np.minimum(1.0, spectral[jams, None] * spatial[None, :])
         return timeline
 
 
@@ -613,21 +719,50 @@ class AmbientInterference(InterferenceSource):
         num_phases: int,
         channel: int,
     ) -> np.ndarray:
-        # Position-independent: one scalar evaluation per phase serves
-        # every receiver, and the window memo makes the per-phase scalar
-        # lookups O(1) after the first phase touches a window.
-        positions = np.asarray(positions, dtype=float)
         if num_phases <= 0:
+            return np.zeros((0, len(np.asarray(positions))))
+        starts = start_ms + phase_ms * np.arange(num_phases)
+        return self.penalty_windows(positions, starts, phase_ms, channel)
+
+    def penalty_windows(
+        self,
+        positions: np.ndarray,
+        starts_ms: np.ndarray,
+        duration_ms: float,
+        channels: Union[int, np.ndarray],
+    ) -> np.ndarray:
+        # Position- and channel-independent: bursts corrupt the whole
+        # deployment equally, so the per-window predicate broadcasts
+        # across receivers.  Each window is checked against the bursts
+        # of every memoized window-index it could overlap; windows
+        # outside a burst's own range contribute an exact zero overlap,
+        # reproducing the scalar ``penalty`` predicate bit for bit.
+        positions = np.asarray(positions, dtype=float)
+        starts = np.asarray(starts_ms, dtype=float)
+        count = len(starts)
+        if count == 0:
             return np.zeros((0, len(positions)))
-        values = np.fromiter(
-            (
-                self.penalty((0.0, 0.0), start_ms + phase * phase_ms, phase_ms, channel)
-                for phase in range(num_phases)
-            ),
-            dtype=float,
-            count=num_phases,
-        )
-        return np.repeat(values[:, None], len(positions), axis=1)
+        jammed = np.zeros(count, dtype=bool)
+        if duration_ms > 0:
+            ends = starts + duration_ms
+            first_window = int(starts.min() // self.window_ms) - 1
+            last_window = int(ends.max() // self.window_ms)
+            for window_index in range(first_window, last_window + 1):
+                burst = self._window_burst(window_index)
+                if burst is None:
+                    continue
+                overlap = np.minimum(ends, burst[1]) - np.maximum(starts, burst[0])
+                np.clip(overlap, 0.0, None, out=overlap)
+                jammed |= overlap / duration_ms > BURST_OVERLAP_DECODE_THRESHOLD
+            active = np.ones(count, dtype=bool)
+            if self.start_ms is not None:
+                active &= starts >= self.start_ms
+            if self.end_ms is not None:
+                active &= starts < self.end_ms
+            jammed &= active
+        timeline = np.zeros((count, len(positions)))
+        timeline[jammed] = 1.0
+        return timeline
 
 
 @dataclass
@@ -674,6 +809,37 @@ class CompositeInterference(InterferenceSource):
                 positions, start_ms, phase_ms, num_phases, channel
             )
         return 1.0 - survival
+
+    def penalty_windows(
+        self,
+        positions: np.ndarray,
+        starts_ms: np.ndarray,
+        duration_ms: float,
+        channels: Union[int, np.ndarray],
+    ) -> np.ndarray:
+        # Burst interference is sparse in time: most windows receive no
+        # penalty from any source.  Rows a source leaves at zero would
+        # multiply the survival by exactly 1.0, so restricting the
+        # combination to the touched rows is bit-identical to the dense
+        # ``1 - prod(1 - p_i)`` while touching a fraction of the array.
+        positions = np.asarray(positions, dtype=float)
+        starts_ms = np.asarray(starts_ms, dtype=float)
+        count = len(starts_ms)
+        survival: Optional[np.ndarray] = None
+        touched = np.zeros(count, dtype=bool)
+        for source in self.sources:
+            windows = source.penalty_windows(positions, starts_ms, duration_ms, channels)
+            rows = windows.any(axis=1)
+            if not rows.any():
+                continue
+            if survival is None:
+                survival = np.ones((count, len(positions)))
+            survival[rows] *= 1.0 - windows[rows]
+            touched |= rows
+        penalty = np.zeros((count, len(positions)))
+        if survival is not None:
+            penalty[touched] = 1.0 - survival[touched]
+        return penalty
 
     def is_active(self, time_ms: float) -> bool:
         return any(source.is_active(time_ms) for source in self.sources)

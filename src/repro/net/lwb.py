@@ -16,7 +16,7 @@ plain LWB's energy consumption rises under interference (§V-E).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from repro.net.channels import ChannelHopper
 from repro.net.glossy import FloodResult, GlossyFlood
 from repro.net.interference import InterferenceSource, NoInterference
 from repro.net.link import LinkModel
-from repro.net.node import Node, NodeRole
+from repro.net.node import Node, NodeRole, NodeStateArray
 from repro.net.packet import (
     DEFAULT_PACKET_BYTES,
     DataPacket,
@@ -243,6 +243,41 @@ class RoundResult:
         return self._received_map
 
     # ------------------------------------------------------------------
+    # Scalar accessors (no dict materialization)
+    # ------------------------------------------------------------------
+    def _position(self, node: int) -> int:
+        """Array index of ``node``, or ``-1`` when absent."""
+        try:
+            return self.node_ids.index(node)
+        except ValueError:
+            return -1
+
+    def packets_expected_at(self, node: int) -> int:
+        """Expected-packet count of one node (0 when unknown).
+
+        A materialized ``packets_expected`` view wins once it exists
+        (views are the mutable face of the result).
+        """
+        if self._expected_map is not None:
+            return self._expected_map.get(node, 0)
+        position = self._position(node)
+        return int(self._expected_arr[position]) if position >= 0 else 0
+
+    def packets_received_at(self, node: int) -> int:
+        """Received-packet count of one node (0 when unknown)."""
+        if self._received_map is not None:
+            return self._received_map.get(node, 0)
+        position = self._position(node)
+        return int(self._received_arr[position]) if position >= 0 else 0
+
+    def radio_on_at(self, node: int) -> float:
+        """Whole-round radio-on time of one node (0.0 when unknown)."""
+        if self._radio_map is not None:
+            return self._radio_map.get(node, 0.0)
+        position = self._position(node)
+        return float(self._radio_arr[position]) if position >= 0 else 0.0
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     @property
@@ -311,37 +346,82 @@ def build_observer_view(
     Returns a dict with keys ``"reliability"``, ``"radio_on_ms"`` and
     ``"missing"`` (the latter mapping node -> 1.0 markers).
     """
-    reliabilities: Dict[int, float] = {}
-    radio_on: Dict[int, float] = {}
-    missing: Dict[int, float] = {}
+    node_ids, rel_arr, radio_arr, missing_mask = observer_view_arrays(
+        result,
+        observer,
+        expected_nodes=expected_nodes,
+        pessimistic_radio_on_ms=pessimistic_radio_on_ms,
+    )
+    missing = {
+        node: 1.0 for node, flag in zip(node_ids, missing_mask.tolist()) if flag
+    }
+    return {
+        "reliability": dict(zip(node_ids, rel_arr.tolist())),
+        "radio_on_ms": dict(zip(node_ids, radio_arr.tolist())),
+        "missing": missing,
+    }
 
+
+def observer_view_arrays(
+    result: RoundResult,
+    observer: int,
+    expected_nodes: Optional[Sequence[int]] = None,
+    pessimistic_radio_on_ms: float = 20.0,
+) -> "Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]":
+    """Array-backed :func:`build_observer_view`.
+
+    Returns ``(node_ids, reliabilities, radio_on_ms, missing_mask)``
+    with the arrays aligned to the sorted ``node_ids`` list; the values
+    equal the dict variant element for element.  This is what the
+    statistics collector builds its :class:`~repro.core.statistics.GlobalView`
+    from without any per-node dict bookkeeping.
+    """
     received_feedback: Dict[int, DimmerFeedbackHeader] = {}
     for slot in result.slots:
         if slot.feedback is None:
             continue
-        if slot.flood.received.get(observer, False) or slot.source == observer:
+        if slot.source == observer or slot.flood.received_at(observer):
             received_feedback[slot.source] = slot.feedback
 
     scheduled = set(result.schedule.slots)
     if expected_nodes is not None:
         scheduled &= set(expected_nodes)
     scheduled.add(observer)
+    node_ids = sorted(scheduled)
+    count = len(node_ids)
+
+    # Pessimistic defaults, then overlay the received headers, then the
+    # observer's own exact statistics — same precedence as the dict path.
+    rel_arr = np.zeros(count)
+    radio_arr = np.full(count, pessimistic_radio_on_ms)
+    missing_mask = np.ones(count, dtype=bool)
+    nodes_arr = np.array(node_ids, dtype=np.int64)
+    if received_feedback:
+        fb_ids = np.fromiter(received_feedback, dtype=np.int64, count=len(received_feedback))
+        positions = np.searchsorted(nodes_arr, fb_ids)
+        valid = (positions < count) & (nodes_arr[np.minimum(positions, count - 1)] == fb_ids)
+        rows = positions[valid]
+        headers = list(received_feedback.values())
+        rel_arr[rows] = np.fromiter(
+            (h.reliability for h, ok in zip(headers, valid.tolist()) if ok),
+            dtype=float,
+            count=int(valid.sum()),
+        )
+        radio_arr[rows] = np.fromiter(
+            (h.radio_on_ms for h, ok in zip(headers, valid.tolist()) if ok),
+            dtype=float,
+            count=int(valid.sum()),
+        )
+        missing_mask[rows] = False
 
     num_slots = len(result.slots) + 1
-    for node in sorted(scheduled):
-        if node == observer:
-            expected = result.packets_expected.get(node, 0)
-            received = result.packets_received.get(node, 0)
-            reliabilities[node] = 1.0 if expected == 0 else received / expected
-            radio_on[node] = result.radio_on_ms.get(node, 0.0) / num_slots
-        elif node in received_feedback:
-            reliabilities[node] = received_feedback[node].reliability
-            radio_on[node] = received_feedback[node].radio_on_ms
-        else:
-            reliabilities[node] = 0.0
-            radio_on[node] = pessimistic_radio_on_ms
-            missing[node] = 1.0
-    return {"reliability": reliabilities, "radio_on_ms": radio_on, "missing": missing}
+    observer_row = int(np.searchsorted(nodes_arr, observer))
+    expected = result.packets_expected_at(observer)
+    received = result.packets_received_at(observer)
+    rel_arr[observer_row] = 1.0 if expected == 0 else received / expected
+    radio_arr[observer_row] = result.radio_on_at(observer) / num_slots
+    missing_mask[observer_row] = False
+    return node_ids, rel_arr, radio_arr, missing_mask
 
 
 class LWBRoundEngine:
@@ -416,9 +496,13 @@ class LWBRoundEngine:
         Parameters
         ----------
         nodes:
-            Node objects keyed by id; their roles and ``n_tx`` values are
+            Node state keyed by id; their roles and ``n_tx`` values are
             read (passive receivers flood with ``N_TX = 0``), and their
-            statistics and overheard feedback are updated in place.
+            statistics and overheard feedback are updated in place.  A
+            :class:`~repro.net.node.NodeStateArray` aligned with the
+            topology order (what every simulator owns) drives the whole
+            round with masked vector operations; any other mapping of
+            ``Node`` objects takes the per-node reference path.
         schedule:
             The schedule computed by the coordinator for this round.
         start_ms:
@@ -436,6 +520,238 @@ class LWBRoundEngine:
             destination of every packet).
         """
         interference = interference if interference is not None else NoInterference()
+        if (
+            isinstance(nodes, NodeStateArray)
+            and nodes.node_ids == self._flood.node_ids
+        ):
+            return self._run_round_store(
+                nodes, schedule, start_ms, interference, collect_feedback, destinations
+            )
+        return self._run_round_nodes(
+            nodes, schedule, start_ms, interference, collect_feedback, destinations
+        )
+
+    def _run_round_store(
+        self,
+        store: NodeStateArray,
+        schedule: Schedule,
+        start_ms: float,
+        interference: InterferenceSource,
+        collect_feedback: bool,
+        destinations: Optional[Sequence[int]],
+    ) -> RoundResult:
+        """Array round path: no per-node Python calls anywhere.
+
+        Equivalent to :meth:`_run_round_nodes` over the store's views —
+        and bit-for-bit identical to it under a fixed seed (the
+        fingerprint test pins this) — but every per-node update is a
+        masked vector operation: the schedule's ``n_tx`` broadcasts
+        through the synchronized mask, ``effective_n_tx`` is a
+        ``where`` over the role codes, each data slot scatters the
+        source's feedback header into the ``(N, N)`` tables with one
+        fancy index, and the end-of-round ``record_slot`` for all nodes
+        is a single vectorized counter update.
+        """
+        coordinator = self.topology.coordinator
+        index = self.link_model.node_index
+        node_ids = store.node_ids
+        n = len(node_ids)
+
+        # --- Control slot: flood the schedule from the coordinator. -----
+        control_channel = self.hopper.control_channel()
+        control_packet = schedule.to_packet(coordinator)
+        control_flood = self._flood.run(
+            initiator=coordinator,
+            n_tx=max(schedule.n_tx, 1),
+            packet_bytes=control_packet.total_bytes,
+            channel=control_channel,
+            start_ms=self._slot_start_ms(start_ms, 0),
+            interference=interference,
+            participants=None,
+            max_slot_ms=self.slot_ms,
+        )
+        synchronized = control_flood.received_array.copy()
+        radio_on = control_flood.radio_on_array.copy()
+        synchronized[index[coordinator]] = True
+
+        # Synchronized nodes apply the new retransmission parameter
+        # immediately after the control slot; roles and n_tx stay
+        # constant for the rest of the round.
+        store.synchronized[:] = synchronized
+        store.apply_n_tx_where(synchronized, schedule.n_tx)
+        effective_n_tx = store.effective_n_tx()
+
+        packets_expected = np.zeros(n, dtype=np.int64)
+        packets_received = np.zeros(n, dtype=np.int64)
+        if destinations is not None:
+            destination_mask = np.zeros(n, dtype=bool)
+            for node in destinations:
+                destination_mask[index[node]] = True
+        else:
+            destination_mask = np.ones(n, dtype=bool)
+
+        # --- Data slots. -------------------------------------------------
+        # The synchronized set is fixed for the rest of the round, so the
+        # executed (synced-source) floods are known upfront and run as
+        # one batched phase loop; empty slots (source missed the
+        # schedule) only contribute accounting.
+        slot_channels = [self.hopper.data_channel(i) for i in range(len(schedule.slots))]
+        executed = [
+            (slot_index, source)
+            for slot_index, source in enumerate(schedule.slots)
+            if synchronized[index[source]]
+        ]
+        floods = self._flood.run_batch(
+            initiators=[source for _, source in executed],
+            n_tx=effective_n_tx,
+            packet_bytes=DataPacket(source=coordinator).total_bytes,
+            channels=[slot_channels[slot_index] for slot_index, _ in executed],
+            start_times=[
+                self._slot_start_ms(start_ms, slot_index + 1) for slot_index, _ in executed
+            ],
+            interference=interference,
+            participants=synchronized,
+            max_slot_ms=self.slot_ms,
+        )
+        flood_by_slot = {slot_index: flood for (slot_index, _), flood in zip(executed, floods)}
+
+        # Whole-round reliability accounting in a handful of integer
+        # vector operations (integer adds commute, so batching across
+        # slots is exact):  every slot expects one packet at every
+        # destination except its own source; receptions count wherever a
+        # destination's row in the batched reception table is set.
+        num_data_slots = len(schedule.slots)
+        source_rows_all = np.fromiter(
+            (index[source] for source in schedule.slots), dtype=np.int64, count=num_data_slots
+        )
+        packets_expected += num_data_slots * destination_mask
+        np.subtract.at(
+            packets_expected,
+            source_rows_all[destination_mask[source_rows_all]],
+            1,
+        )
+        sync_rows = np.flatnonzero(synchronized)
+        if executed:
+            received_table = np.zeros((len(executed), n), dtype=bool)
+            received_table[:, sync_rows] = np.stack(
+                [flood.received_array for flood in floods]
+            )
+            # Per-slot radio-on, scattered into full-network rows in one
+            # batched assignment (unsynchronized nodes listen the whole
+            # slot); the += below still walks the rows in slot order so
+            # the float accumulation stays bit-identical.
+            radio_table = np.full((len(executed), n), self.slot_ms)
+            radio_table[:, sync_rows] = np.stack([flood.radio_on_array for flood in floods])
+            packets_received += (received_table & destination_mask).sum(axis=0)
+            executed_rows = np.fromiter(
+                (index[source] for _, source in executed), dtype=np.int64, count=len(executed)
+            )
+            # Sources always decode their own slot; remove their
+            # self-counts (a source is not a destination of its slot).
+            np.subtract.at(
+                packets_received,
+                executed_rows[destination_mask[executed_rows]],
+                1,
+            )
+
+        slot_results: List[SlotResult] = []
+        executed_index = 0
+        feedback_headers: List[Optional[DimmerFeedbackHeader]] = []
+        for slot_index, source in enumerate(schedule.slots):
+            channel = slot_channels[slot_index]
+            flood = flood_by_slot.get(slot_index)
+            if flood is None:
+                # The source missed the schedule: the slot stays empty.
+                # Synchronized nodes still listen for the announced packet
+                # and unsynchronized ones listen trying to re-sync.
+                radio_on += self.slot_ms
+                empty = FloodResult.empty(
+                    initiator=source,
+                    node_ids=node_ids,
+                    slot_duration_ms=self.slot_ms,
+                    channel=channel,
+                    radio_on_ms=self.slot_ms,
+                )
+                slot_results.append(
+                    SlotResult(slot_index=slot_index, source=source, channel=channel, flood=empty)
+                )
+                continue
+
+            feedback = store.feedback_for(index[source]) if collect_feedback else None
+            feedback_headers.append(feedback)
+            radio_on += radio_table[executed_index]
+            executed_index += 1
+
+            slot_results.append(
+                SlotResult(
+                    slot_index=slot_index,
+                    source=source,
+                    channel=channel,
+                    flood=flood,
+                    feedback=feedback,
+                )
+            )
+
+        if collect_feedback and executed:
+            # Scatter every executed slot's feedback header into the
+            # overheard-feedback tables at once.  When the executed
+            # sources are all distinct (the normal schedule shape) the
+            # (receiver, source) targets never collide, so one fancy
+            # scatter per table is exact; duplicate sources fall back to
+            # the per-slot order-preserving writes.
+            executed_cols = np.fromiter(
+                (index[source] for _, source in executed),
+                dtype=np.int64,
+                count=len(executed),
+            )
+            if len(set(executed_cols.tolist())) == len(executed):
+                slot_rows, receiver_rows = np.nonzero(received_table)
+                target_cols = executed_cols[slot_rows]
+                radio_values = np.array([h.radio_on_ms for h in feedback_headers])
+                reliability_values = np.array([h.reliability for h in feedback_headers])
+                store.feedback_radio_on[receiver_rows, target_cols] = radio_values[slot_rows]
+                store.feedback_reliability[receiver_rows, target_cols] = (
+                    reliability_values[slot_rows]
+                )
+                store.feedback_valid[receiver_rows, target_cols] = True
+            else:
+                for position, (_, source) in enumerate(executed):
+                    store.observe_feedback_rows(
+                        received_table[position], index[source], feedback_headers[position]
+                    )
+
+        # Update the per-node statistics used for the feedback headers of
+        # the *next* round in one batched counter update.
+        num_slots = len(schedule.slots) + 1
+        store.record_round_statistics(
+            packets_expected, packets_received, radio_on / num_slots
+        )
+
+        self.hopper.advance_round(len(schedule.slots))
+
+        return RoundResult(
+            round_index=schedule.round_index,
+            schedule=schedule,
+            start_ms=start_ms,
+            control_flood=control_flood,
+            slots=slot_results,
+            synchronized=synchronized,
+            radio_on_ms=radio_on,
+            packets_expected=packets_expected,
+            packets_received=packets_received,
+            node_ids=node_ids,
+        )
+
+    def _run_round_nodes(
+        self,
+        nodes: Mapping[int, Node],
+        schedule: Schedule,
+        start_ms: float,
+        interference: InterferenceSource,
+        collect_feedback: bool,
+        destinations: Optional[Sequence[int]],
+    ) -> RoundResult:
+        """Reference round path over arbitrary ``Node`` mappings."""
         coordinator = self.topology.coordinator
         all_ids = list(nodes.keys())
         n = len(all_ids)
@@ -471,6 +787,9 @@ class LWBRoundEngine:
 
         # Synchronized nodes apply the new retransmission parameter
         # immediately after the control slot.
+        sync_list = synchronized.tolist()
+        for i, node_id in enumerate(all_ids):
+            nodes[node_id].synchronized = sync_list[i]
         for node_id in ids_arr[synchronized].tolist():
             nodes[node_id].apply_n_tx(schedule.n_tx)
         # Per-node retransmission budget for the data slots (constant for

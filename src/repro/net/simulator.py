@@ -21,7 +21,7 @@ from repro.net.glossy import FLOOD_ENGINES
 from repro.net.interference import InterferenceSource, NoInterference
 from repro.net.link import LinkModel
 from repro.net.lwb import LWBRoundEngine, RoundResult, Schedule
-from repro.net.node import Node, NodeRole
+from repro.net.node import Node, NodeRole, NodeStateArray
 from repro.net.radio import RadioModel
 from repro.net.topology import Topology
 
@@ -119,15 +119,16 @@ class NetworkSimulator:
         )
         self.energy_model = EnergyModel(self.radio)
 
-        self.nodes: Dict[int, Node] = {}
-        for node_id in topology.node_ids:
-            role = NodeRole.COORDINATOR if node_id == topology.coordinator else NodeRole.FORWARDER
-            self.nodes[node_id] = Node(
-                node_id=node_id,
-                position=topology.positions[node_id],
-                role=role,
-                n_tx=self.config.default_n_tx,
-            )
+        #: All per-node state lives in one struct-of-arrays store; it is
+        #: also a ``Mapping[int, Node]``, so existing code indexing
+        #: ``simulator.nodes`` keeps receiving ``Node`` objects (views).
+        self.node_state = NodeStateArray(
+            topology.node_ids,
+            positions=topology.positions,
+            coordinator=topology.coordinator,
+            default_n_tx=self.config.default_n_tx,
+        )
+        self.nodes: Mapping[int, Node] = self.node_state
 
         self.current_round: int = 0
         self.time_ms: float = 0.0
@@ -152,19 +153,15 @@ class NetworkSimulator:
 
     def set_role(self, node_id: int, role: NodeRole) -> None:
         """Set the role of a node (used by the forwarder selection)."""
-        self.nodes[node_id].set_role(role)
+        self.node_state.set_role(node_id, role)
 
     def active_forwarders(self) -> List[int]:
         """Nodes currently acting as forwarders (coordinator included)."""
-        return sorted(
-            node_id
-            for node_id, node in self.nodes.items()
-            if node.role in (NodeRole.FORWARDER, NodeRole.COORDINATOR)
-        )
+        return self.node_state.forwarder_ids()
 
     def passive_receivers(self) -> List[int]:
         """Nodes currently acting as passive receivers."""
-        return sorted(node_id for node_id, node in self.nodes.items() if node.is_passive)
+        return self.node_state.passive_ids()
 
     # ------------------------------------------------------------------
     # Round execution

@@ -17,12 +17,35 @@ can be shipped with the repository or regenerated at will.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
+
+
+def atomic_write_json(path: Path, payload: Dict) -> None:
+    """Write ``payload`` as JSON via write-then-rename.
+
+    Concurrent writers of the same file (e.g. parallel workers sharing
+    an artifact cache) never leave a torn file behind; the last
+    completed write wins.  Shared by the trace cache and the parallel
+    runner's result cache.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
 
 
 class TraceRecord:
@@ -249,11 +272,8 @@ class TraceSet:
         )
 
     def save(self, path: Path) -> None:
-        """Write the trace set to a JSON file."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle)
+        """Write the trace set to a JSON file (atomically, parallel-safe)."""
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: Path) -> "TraceSet":

@@ -200,6 +200,43 @@ class FeatureEncoder:
             raise AssertionError("encoded vector has an unexpected size")
         return vector
 
+    def encode_arrays(
+        self,
+        node_ids: Sequence[int],
+        reliabilities: np.ndarray,
+        radio_on_ms: np.ndarray,
+        n_tx: int,
+    ) -> np.ndarray:
+        """Array-backed :meth:`encode` (no per-node dict bookkeeping).
+
+        ``reliabilities`` / ``radio_on_ms`` are aligned with
+        ``node_ids`` and must cover every expected node (which is what
+        an array-backed :class:`~repro.core.statistics.GlobalView`
+        guarantees: silent nodes are already filled in pessimistically).
+        The worst-``K`` selection ranks by ``(reliability, node id)``
+        via one ``lexsort``, reproducing :meth:`encode` exactly.
+        """
+        config = self.config
+        if not 0 <= n_tx <= config.n_max:
+            raise ValueError(f"n_tx must be within [0, {config.n_max}]")
+        ids = np.asarray(node_ids, dtype=np.int64)
+        worst = np.lexsort((ids, reliabilities))[: config.num_input_nodes]
+        radio_rows = [self.normalize_radio_on(float(radio_on_ms[i])) for i in worst]
+        reliability_rows = [self.normalize_reliability(float(reliabilities[i])) for i in worst]
+        while len(radio_rows) < config.num_input_nodes:
+            radio_rows.append(-1.0)
+            reliability_rows.append(1.0)
+
+        one_hot = [0.0] * (config.n_max + 1)
+        one_hot[n_tx] = 1.0
+
+        vector = np.array(
+            radio_rows + reliability_rows + one_hot + self._history, dtype=float
+        )
+        if vector.shape[0] != config.input_size:
+            raise AssertionError("encoded vector has an unexpected size")
+        return vector
+
     def encode_round(
         self,
         per_node_reliability: Mapping[int, float],
@@ -216,5 +253,18 @@ class FeatureEncoder:
         round's outcome for subsequent encodings.
         """
         vector = self.encode(per_node_reliability, per_node_radio_on_ms, n_tx, expected_nodes)
+        self.record_history(had_losses)
+        return vector
+
+    def encode_round_arrays(
+        self,
+        node_ids: Sequence[int],
+        reliabilities: np.ndarray,
+        radio_on_ms: np.ndarray,
+        n_tx: int,
+        had_losses: bool,
+    ) -> np.ndarray:
+        """Array-backed :meth:`encode_round` (state first, then history)."""
+        vector = self.encode_arrays(node_ids, reliabilities, radio_on_ms, n_tx)
         self.record_history(had_losses)
         return vector

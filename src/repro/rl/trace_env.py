@@ -37,7 +37,7 @@ from repro.net.interference import (
     InterferenceSource,
     NoInterference,
 )
-from repro.net.lwb import RoundResult, build_observer_view
+from repro.net.lwb import RoundResult, observer_view_arrays
 from repro.net.simulator import NetworkSimulator, SimulatorConfig
 from repro.net.topology import Topology, kiel_testbed
 from repro.net.trace import TraceRecord, TraceSet
@@ -263,17 +263,17 @@ class SimulationEnvironment(Environment):
         (what the deployed DQN receives), not from the simulator's
         ground truth.
         """
-        view = build_observer_view(
+        node_ids, reliabilities, radio_on, _ = observer_view_arrays(
             result,
             observer=self.topology.coordinator,
             pessimistic_radio_on_ms=self.simulator.config.slot_ms,
         )
-        return self.encoder.encode_round(
-            view["reliability"],
-            view["radio_on_ms"],
+        return self.encoder.encode_round_arrays(
+            node_ids,
+            reliabilities,
+            radio_on,
             self.n_tx,
             result.had_losses,
-            expected_nodes=list(view["reliability"]),
         )
 
     def step(self, action: int) -> StepResult:
@@ -343,12 +343,14 @@ def record_episode_for_n_tx(
             # uses the same input distribution as the deployed protocol;
             # the loss flag stays ground truth since it only feeds the
             # training reward.
-            view = build_observer_view(result, observer=topology.coordinator)
+            node_ids, reliabilities, radio_on, _ = observer_view_arrays(
+                result, observer=topology.coordinator
+            )
             records.append(
                 {
-                    "node_ids": list(view["reliability"]),
-                    "reliabilities": list(view["reliability"].values()),
-                    "radio_on_ms": list(view["radio_on_ms"].values()),
+                    "node_ids": list(node_ids),
+                    "reliabilities": reliabilities.tolist(),
+                    "radio_on_ms": radio_on.tolist(),
                     "interference_ratio": float(ratio),
                     "had_losses": bool(result.had_losses),
                 }

@@ -140,3 +140,34 @@ class TestReward:
             RewardConfig(n_max=0)
         with pytest.raises(ValueError):
             RewardConfig(efficiency_weight=-0.1)
+
+
+class TestEncodeArrays:
+    def test_encode_arrays_matches_dict_encoding(self):
+        encoder = FeatureEncoder(FeatureConfig(num_input_nodes=4, history_size=2))
+        rng = np.random.default_rng(7)
+        node_ids = [3, 1, 8, 5, 2, 13]
+        reliabilities = rng.random(len(node_ids))
+        radio = rng.random(len(node_ids)) * 20.0
+        via_dict = encoder.encode(
+            dict(zip(node_ids, reliabilities.tolist())),
+            dict(zip(node_ids, radio.tolist())),
+            n_tx=3,
+            expected_nodes=node_ids,
+        )
+        via_arrays = encoder.encode_arrays(node_ids, reliabilities, radio, n_tx=3)
+        assert via_arrays.tolist() == via_dict.tolist()
+
+    def test_encode_round_arrays_updates_history(self):
+        encoder = FeatureEncoder(FeatureConfig(num_input_nodes=2, history_size=2))
+        vector = encoder.encode_round_arrays(
+            [1, 2], np.array([1.0, 0.4]), np.array([2.0, 9.0]), n_tx=2, had_losses=True
+        )
+        assert vector.shape[0] == encoder.input_size
+        assert encoder.history == [-1.0, 1.0]
+
+    def test_encode_arrays_pads_small_deployments(self):
+        encoder = FeatureEncoder(FeatureConfig(num_input_nodes=5, history_size=1))
+        vector = encoder.encode_arrays([1], np.array([0.9]), np.array([3.0]), n_tx=1)
+        via_dict = encoder.encode({1: 0.9}, {1: 3.0}, n_tx=1)
+        assert vector.tolist() == via_dict.tolist()

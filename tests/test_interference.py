@@ -270,3 +270,56 @@ class TestCompositeInterference:
         ]
         composite = CompositeInterference(sources)
         assert composite.penalty((0.0, 0.0), 1.0, 2.0, 26) <= 1.0
+
+
+class TestPenaltyWindows:
+    """penalty_windows must equal stacked penalty_batch rows for every
+    built-in source (that is the base-class contract the round engine
+    relies on when it evaluates all slots of a round in one call)."""
+
+    POSITIONS = np.array([[0.0, 0.0], [3.0, 1.0], [40.0, 40.0]])
+
+    def sources(self):
+        return [
+            NoInterference(),
+            BurstJammer(position=(1.0, 1.0), interference_ratio=0.3, channels=None),
+            BurstJammer(position=(1.0, 1.0), interference_ratio=0.2, channels=(26,)),
+            AmbientInterference(rate=0.6, seed=3),
+            WifiInterference(level=1, positions=[(0.0, 0.0)]),
+            CompositeInterference(
+                [
+                    AmbientInterference(rate=0.6, seed=3),
+                    BurstJammer(position=(1.0, 1.0), interference_ratio=0.3, channels=None),
+                ]
+            ),
+        ]
+
+    def test_windows_match_penalty_batch_rows(self):
+        starts = np.array([0.0, 7.5, 22.0, 100.0, 101.6, 480.0])
+        for source in self.sources():
+            windows = source.penalty_windows(self.POSITIONS, starts, 1.6, 26)
+            assert windows.shape == (len(starts), len(self.POSITIONS))
+            for row, start in enumerate(starts):
+                expected = source.penalty_batch(self.POSITIONS, float(start), 1.6, 26)
+                assert windows[row].tolist() == expected.tolist(), type(source).__name__
+
+    def test_windows_match_timeline(self):
+        for source in self.sources():
+            timeline = source.penalty_timeline(self.POSITIONS, 50.0, 1.6, 12, 26)
+            starts = 50.0 + 1.6 * np.arange(12)
+            windows = source.penalty_windows(self.POSITIONS, starts, 1.6, 26)
+            assert (timeline == windows).all(), type(source).__name__
+
+    def test_per_window_channels(self):
+        jammer = BurstJammer(position=(1.0, 1.0), interference_ratio=0.9, channels=(26,))
+        starts = np.array([0.0, 1.6, 3.2])
+        channels = np.array([26, 11, 26])
+        windows = jammer.penalty_windows(self.POSITIONS, starts, 1.6, channels)
+        for row, (start, channel) in enumerate(zip(starts, channels)):
+            expected = jammer.penalty_batch(self.POSITIONS, float(start), 1.6, int(channel))
+            assert windows[row].tolist() == expected.tolist()
+
+    def test_empty_windows(self):
+        for source in self.sources():
+            windows = source.penalty_windows(self.POSITIONS, np.array([]), 1.6, 26)
+            assert windows.shape == (0, len(self.POSITIONS))
