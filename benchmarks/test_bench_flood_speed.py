@@ -12,27 +12,41 @@ environment of the interference sweep:
   bookkeeping), executed back to back by the *same* engine so the
   comparison is robust against machine-speed fluctuations.  The
   workload schedules 32 data slots per round — the broadcast-style
-  round shape the paper's ``N`` sources produce at scale.
+  round shape the paper's ``N`` sources produce at scale.  Since PR 4
+  the section also times the round path with the PR 3-style *per-flood
+  product loop* re-selected (``reception_kernel = "per-flood"``) and
+  with the log-matmul engine (``"vectorized-log"``), all interleaved,
+  so the batched reception kernel's in-run ratios are recorded next to
+  the measured max deviation of the log kernel from the exact one;
+* **round path at scale** — 1000- and 2000-node round-path-only points
+  (no scalar flood path, no per-node reference nodes — both would take
+  minutes there): exact batched kernel vs the per-flood product loop
+  vs the log-matmul engine over a shared ``LinkModel``.
 
 Results are printed as tables and recorded in ``BENCH_flood_speed.json``
 at the repository root so the performance trajectory is tracked across
-PRs.  Enforced bars:
+PRs.  Enforced bars (ratios, not absolute rates — this VM shows ~2x
+CPU-steal swings, so only in-run comparisons are trustworthy):
 
 * vectorized >= 5x the scalar reference on the interfered flood
   workload at every size (relative, in-run);
 * PR 2's array-backed engine >= 2x the PR 1 vectorized engine on the
   100-node interfered flood workload (absolute baseline from the
   reference machine; skipped with ``REPRO_BENCH_SKIP_PR1_BAR=1``);
-* **PR 3**: the array round path vs the PR 2 round path at 200 nodes on
-  the 32-slot round workload — >= 2x against the PR 2 session baseline
-  (absolute, reference machine, same skip switch) and >= 1.9x against
-  the in-run reference path (always on; the reference inherits this
-  PR's engine-level gains, so the in-run ratio understates the full
-  speedup), plus >= 1.8x at 100 and >= 1.2x at 500 in-run.
+* the array round path vs the PR 2 round path at 200 nodes on the
+  32-slot round workload — >= 2x against the in-run reference path
+  (the CI bench-ratio gate runs exactly this size), plus >= 1.8x at
+  100 and >= 1.2x at 500 in-run;
+* **PR 4**: the batched reception kernel must never fall behind the
+  per-flood product loop it replaced (in-run floors per size), the
+  log-matmul round path must be >= 2x the product loop at 500+ nodes,
+  and the log kernel's measured max probability deviation from the
+  exact kernel must stay under 1e-9.
 
 ``REPRO_BENCH_SIZES`` (comma-separated node counts) restricts the sweep
-— CI's smoke step runs ``REPRO_BENCH_SIZES=50`` to keep the perf
-plumbing exercised on every push; the JSON is only rewritten when the
+— CI's smoke step runs ``REPRO_BENCH_SIZES=50``, the bench-ratio gate
+``REPRO_BENCH_SIZES=200`` and the log-mode smoke
+``REPRO_BENCH_SIZES=1000`` — and the JSON is only rewritten when the
 full default size set ran.
 """
 
@@ -47,10 +61,10 @@ from repro.experiments.reporting import format_table
 from repro.experiments.scenarios import jamming_interference
 from repro.net.channels import ChannelHopper
 from repro.net.energy import RadioOnTracker
-from repro.net.glossy import FLOOD_ENGINES, GlossyFlood
+from repro.net.glossy import GlossyFlood
 from repro.net.link import LinkModel
 from repro.net.lwb import LWBRoundEngine, Schedule
-from repro.net.node import NodeRole
+from repro.net.node import NodeRole, NodeStateArray
 from repro.net.packet import DimmerFeedbackHeader
 from repro.net.simulator import NetworkSimulator, SimulatorConfig
 from repro.net.topology import random_topology
@@ -115,6 +129,10 @@ class _ReferenceNode:
     def observe_feedback(self, source, feedback):
         self.neighbor_feedback[source] = feedback
 
+#: Engines of the flood-path comparison tables (the log engine only
+#: differs on the batched round path, so it is measured there instead).
+ENGINE_COMPARISON = ("scalar", "vectorized")
+
 #: Per-size workload: the scalar reference is O(N^2)-ish per flood, so
 #: larger topologies run fewer floods to keep the benchmark quick.
 SIZES = {
@@ -128,18 +146,42 @@ REPEATS = 3
 
 #: Round-path workload: data slots per round and timed rounds per size.
 ROUND_PATH_SLOTS = 32
-ROUND_PATH_ROUNDS = {50: 10, 100: 8, 200: 6, 500: 4}
+ROUND_PATH_ROUNDS = {50: 10, 100: 8, 200: 6, 500: 4, 1000: 2, 2000: 1}
 #: The enforced bars ride on the best-of ratio, so the round path takes
 #: extra repeats to keep the measurement tight on noisy machines.
-ROUND_PATH_REPEATS = 5
+ROUND_PATH_REPEATS = 7
+
+#: Round-path-only points at 1000/2000 nodes: the scalar flood path and
+#: the per-node PR 2 reference nodes would take minutes there, so these
+#: sizes time only the store round path under the three kernels (exact
+#: batched, PR 3 per-flood product loop, log-matmul), over one shared
+#: LinkModel.
+XL_ROUND_PATH_SIZES = (1000, 2000)
+XL_ROUND_PATH_REPEATS = 2
 
 #: In-run bars: array round path vs the PR 2 reference round path.  The
 #: reference shares this PR's engine-level gains (closed-form penalty
-#: windows etc.), so it runs ~8% faster than the true PR 2 engine and
-#: the in-run ratio *understates* the full PR 3-vs-PR 2 speedup — 1.9x
-#: in-run corresponds to >2x against the recorded PR 2 session
-#: baseline, which the absolute bar below checks on comparable hardware.
-ROUND_PATH_BARS = {100: 1.8, 200: 1.9, 500: 1.2}
+#: windows etc.), so the in-run ratio *understates* the full speedup vs
+#: the true PR 2 engine; the 200-node bar is what CI's bench-ratio gate
+#: enforces on every push.
+ROUND_PATH_BARS = {100: 1.8, 200: 2.0, 500: 1.2}
+
+#: In-run floors: the batched reception kernel vs the PR 3-style
+#: per-flood product loop it replaced (same store orchestration, same
+#: draws, bit-identical results).  At small sizes the shared round
+#: bookkeeping dominates and the two kernels tie; at scale the batched
+#: kernel must win outright.
+KERNEL_FLOOR_VS_PRODUCT_LOOP = {50: 0.8, 100: 0.85, 200: 0.85, 500: 0.9, 1000: 1.2, 2000: 1.3}
+
+#: In-run bars: the log-matmul round path vs the per-flood product
+#: loop; this is the ">= 2x at 500+ nodes" acceptance multiple of the
+#: one-shot reception kernel (measured 2.6x/4.2x/3.5x at 500/1000/2000
+#: in this PR's session).
+LOG_BARS_VS_PRODUCT_LOOP = {500: 2.0, 1000: 2.0, 2000: 2.0}
+
+#: Upper bound on the log kernel's probability deviation from the exact
+#: masked product (measured values sit around 1e-13).
+LOG_DEVIATION_BOUND = 1e-9
 
 #: Throughput of the PR 1 vectorized engine (per-node dict materialization
 #: at every flood, penalty_batch re-evaluated per phase), measured on the
@@ -168,15 +210,20 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_flood_speed.json"
 
 
 def _selected_sizes():
-    """Benchmark sizes, optionally filtered via ``REPRO_BENCH_SIZES``."""
+    """Benchmark sizes, optionally filtered via ``REPRO_BENCH_SIZES``.
+
+    Returns ``(sizes, xl_sizes)``: the full-comparison sizes (flood
+    path + round path) and the round-path-only 1000/2000-node points.
+    """
     override = os.environ.get("REPRO_BENCH_SIZES")
     if not override:
-        return dict(SIZES)
+        return dict(SIZES), list(XL_ROUND_PATH_SIZES)
     wanted = {int(token) for token in override.split(",") if token.strip()}
     selected = {size: workload for size, workload in SIZES.items() if size in wanted}
-    if not selected:
+    xl_selected = [size for size in XL_ROUND_PATH_SIZES if size in wanted]
+    if not selected and not xl_selected:
         raise ValueError(f"REPRO_BENCH_SIZES={override!r} selects no known size")
-    return selected
+    return selected, xl_selected
 
 
 def _time_floods(topology, engine, interference, floods):
@@ -221,34 +268,55 @@ def _time_rounds(topology, engine, interference, rounds):
     return rounds / best
 
 
-def _time_round_path(topology, interference, rounds):
-    """Best-of-REPEATS rounds/sec: array round path vs PR 2 reference path.
+def _store_simulator(topology, interference, engine, kernel):
+    """A fresh 32-slot round-path simulator with the given kernel."""
+    simulator = NetworkSimulator(
+        topology,
+        SimulatorConfig(
+            round_period_s=1.0, channel_hopping=False, engine=engine, seed=7
+        ),
+        sources=list(topology.node_ids[:ROUND_PATH_SLOTS]),
+    )
+    simulator.set_interference(interference)
+    simulator.engine.flood.reception_kernel = kernel
+    return simulator
 
-    Both paths run the *vectorized* flood engine; they differ only in
-    the round orchestration.  The store path is what every simulator
-    executes (``NodeStateArray`` + one batched phase loop for all data
-    slots); the reference path drives a dict of PR 2-style
-    plain-attribute nodes through the same engine, which takes the
-    per-slot route (one flood at a time, per-node attribute updates) —
-    i.e. it pays PR 2's actual bookkeeping cost.  The two are measured
-    interleaved so machine-speed drift cancels out of the ratio.
+
+#: Round-path configurations timed back to back: the store path under
+#: the exact batched kernel (what every simulator runs), under the PR 3
+#: per-flood product loop, and under the log-matmul engine.
+ROUND_PATH_KERNELS = {
+    "rounds_per_sec": ("vectorized", "batched"),
+    "rounds_per_sec_product_loop": ("vectorized", "per-flood"),
+    "rounds_per_sec_log": ("vectorized-log", "batched"),
+}
+
+
+def _time_round_path(topology, interference, rounds):
+    """Best-of-REPEATS rounds/sec of the round-path configurations.
+
+    Times, interleaved within every repeat so machine-speed drift
+    cancels out of the ratios:
+
+    * the **store path** (``NodeStateArray`` + one batched phase loop
+      for all data slots) under the exact batched reception kernel,
+      the PR 3-style per-flood product loop, and the log-matmul engine;
+    * the **PR 2 reference path**: a dict of PR 2-style plain-attribute
+      nodes through the same engine, which takes the per-slot route
+      (one flood at a time, per-node attribute updates) — i.e. it pays
+      PR 2's actual bookkeeping cost.
     """
     slots = tuple(topology.node_ids[:ROUND_PATH_SLOTS])
-    best_store, best_reference = float("inf"), float("inf")
+    best = {name: float("inf") for name in ROUND_PATH_KERNELS}
+    best_reference = float("inf")
     for repeat in range(ROUND_PATH_REPEATS):
-        simulator = NetworkSimulator(
-            topology,
-            SimulatorConfig(
-                round_period_s=1.0, channel_hopping=False, engine="vectorized", seed=7
-            ),
-            sources=list(slots),
-        )
-        simulator.set_interference(interference)
-        simulator.run_round(n_tx=3)  # warm caches
-        start = time.perf_counter()
-        for _ in range(rounds):
-            simulator.run_round(n_tx=3)
-        best_store = min(best_store, time.perf_counter() - start)
+        for name, (engine_name, kernel) in ROUND_PATH_KERNELS.items():
+            simulator = _store_simulator(topology, interference, engine_name, kernel)
+            simulator.run_round(n_tx=3)  # warm caches
+            start = time.perf_counter()
+            for _ in range(rounds):
+                simulator.run_round(n_tx=3)
+            best[name] = min(best[name], time.perf_counter() - start)
 
         engine = LWBRoundEngine(
             topology,
@@ -280,14 +348,115 @@ def _time_round_path(topology, interference, rounds):
                 interference=interference,
             )
         best_reference = min(best_reference, time.perf_counter() - start)
-    return rounds / best_store, rounds / best_reference
+    rates = {name: rounds / value for name, value in best.items()}
+    rates["rounds_per_sec_reference"] = rounds / best_reference
+    return rates
+
+
+def _log_kernel_deviation(link_model, samples=20, seed=0):
+    """Measured max |exact - log| probability deviation on one topology.
+
+    Samples transmitter sets of several densities and compares the
+    exact failure products against the log-matmul back-transform —
+    the recorded number documents how "approximate-but-close" the
+    ``vectorized-log`` engine actually is on this deployment.
+    """
+    prr = link_model.prr_matrix()
+    failure = 1.0 - prr
+    log_failure = link_model.log_failure_matrix()
+    n = prr.shape[0]
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for num_tx in (2, max(2, n // 20), max(2, n // 4), max(2, n // 2)):
+        for _ in range(samples):
+            tx = np.sort(rng.choice(n, size=min(num_tx, n), replace=False))
+            exact = 1.0 - failure[tx].prod(axis=0)
+            mask = np.zeros(n)
+            mask[tx] = 1.0
+            approximate = -np.expm1(mask @ log_failure)
+            worst = max(worst, float(np.abs(exact - approximate).max()))
+    return worst
+
+
+def _round_path_entry(rates, num_nodes, deviation):
+    """Assemble the recorded ``round_path`` section from timed rates."""
+    entry = {
+        "slots": ROUND_PATH_SLOTS,
+        "log_max_abs_deviation": deviation,
+        **rates,
+    }
+    entry["kernel_speedup_vs_product_loop"] = (
+        rates["rounds_per_sec"] / rates["rounds_per_sec_product_loop"]
+    )
+    entry["log_speedup_vs_product_loop"] = (
+        rates["rounds_per_sec_log"] / rates["rounds_per_sec_product_loop"]
+    )
+    if "rounds_per_sec_reference" in rates:
+        entry["speedup_vs_reference"] = (
+            rates["rounds_per_sec"] / rates["rounds_per_sec_reference"]
+        )
+    if num_nodes in PR2_ROUND_PATH_BASELINE:
+        entry["pr2_session_baseline"] = PR2_ROUND_PATH_BASELINE[num_nodes]
+        entry["improvement_vs_pr2_session"] = (
+            rates["rounds_per_sec"] / PR2_ROUND_PATH_BASELINE[num_nodes]
+        )
+    return entry
+
+
+def _benchmark_xl_round_path(num_nodes):
+    """Round-path-only point at 1000/2000 nodes.
+
+    One shared ``LinkModel`` serves the three kernel configurations
+    (its O(N^2) construction dominates setup at these sizes), and every
+    configuration drives a fresh ``NodeStateArray`` store through the
+    same 32-slot round workload, interleaved per repeat.
+    """
+    topology = random_topology(num_nodes, seed=3)
+    link_model = LinkModel(topology, seed=1)
+    link_model.prr_matrix()  # build once, shared below
+    interference = jamming_interference(topology, 0.2)
+    slots = tuple(topology.node_ids[:ROUND_PATH_SLOTS])
+    rounds = ROUND_PATH_ROUNDS[num_nodes]
+    best = {name: float("inf") for name in ROUND_PATH_KERNELS}
+    for repeat in range(XL_ROUND_PATH_REPEATS):
+        for name, (engine_name, kernel) in ROUND_PATH_KERNELS.items():
+            engine = LWBRoundEngine(
+                topology,
+                link_model=link_model,
+                hopper=ChannelHopper(enabled=False),
+                rng=np.random.default_rng(7),
+                engine=engine_name,
+            )
+            engine.flood.reception_kernel = kernel
+            store = NodeStateArray(
+                topology.node_ids,
+                positions=topology.positions,
+                coordinator=topology.coordinator,
+            )
+            engine.run_round(
+                store,
+                Schedule(round_index=0, n_tx=3, slots=slots),
+                interference=interference,
+            )
+            start = time.perf_counter()
+            for index in range(rounds):
+                engine.run_round(
+                    store,
+                    Schedule(round_index=index + 1, n_tx=3, slots=slots),
+                    start_ms=(index + 1) * 1000.0,
+                    interference=interference,
+                )
+            best[name] = min(best[name], time.perf_counter() - start)
+    rates = {name: rounds / value for name, value in best.items()}
+    deviation = _log_kernel_deviation(link_model, samples=8)
+    return _round_path_entry(rates, num_nodes, deviation)
 
 
 def _benchmark_size(num_nodes, workload):
     topology = random_topology(num_nodes, seed=3)
     interference = jamming_interference(topology, 0.2)
     results = {}
-    for engine in FLOOD_ENGINES:
+    for engine in ENGINE_COMPARISON:
         results[engine] = {
             "floods_per_sec_clean": _time_floods(
                 topology, engine, None, workload["floods"]
@@ -303,25 +472,39 @@ def _benchmark_size(num_nodes, workload):
         metric: results["vectorized"][metric] / results["scalar"][metric]
         for metric in results["scalar"]
     }
-    store_rps, reference_rps = _time_round_path(
+    rates = _time_round_path(
         topology, interference, ROUND_PATH_ROUNDS.get(num_nodes, workload["rounds"])
     )
-    round_path = {
-        "slots": ROUND_PATH_SLOTS,
-        "rounds_per_sec": store_rps,
-        "rounds_per_sec_reference": reference_rps,
-        "speedup_vs_reference": store_rps / reference_rps,
-    }
-    if num_nodes in PR2_ROUND_PATH_BASELINE:
-        round_path["pr2_session_baseline"] = PR2_ROUND_PATH_BASELINE[num_nodes]
-        round_path["improvement_vs_pr2_session"] = (
-            store_rps / PR2_ROUND_PATH_BASELINE[num_nodes]
-        )
+    deviation = _log_kernel_deviation(LinkModel(topology, seed=1), samples=10)
+    round_path = _round_path_entry(rates, num_nodes, deviation)
     return results, speedups, round_path
 
 
+def _print_round_path(num_nodes, round_path):
+    rows = [[
+        f"{ROUND_PATH_SLOTS}-slot round",
+        round_path.get("rounds_per_sec_reference", float("nan")),
+        round_path["rounds_per_sec_product_loop"],
+        round_path["rounds_per_sec"],
+        round_path["rounds_per_sec_log"],
+        round_path["kernel_speedup_vs_product_loop"],
+        round_path["log_speedup_vs_product_loop"],
+    ]]
+    print(
+        format_table(
+            [
+                "workload", "PR 2 ref", "product loop", "batched kernel",
+                "log matmul", "kernel ratio", "log ratio",
+            ],
+            rows,
+            title=f"Round path ({num_nodes} nodes, "
+                  f"log dev {round_path['log_max_abs_deviation']:.2e})",
+        )
+    )
+
+
 def test_flood_engine_throughput():
-    sizes = _selected_sizes()
+    sizes, xl_sizes = _selected_sizes()
     sizes_payload = {}
     all_speedups = {}
     round_paths = {}
@@ -360,20 +543,19 @@ def test_flood_engine_throughput():
                 title=f"Flood engine throughput ({num_nodes} nodes)",
             )
         )
-        print(
-            format_table(
-                ["workload", "PR 2 reference", "array round path", "speedup"],
-                [[
-                    f"{ROUND_PATH_SLOTS}-slot round",
-                    round_path["rounds_per_sec_reference"],
-                    round_path["rounds_per_sec"],
-                    round_path["speedup_vs_reference"],
-                ]],
-                title=f"Round path ({num_nodes} nodes)",
-            )
-        )
+        _print_round_path(num_nodes, round_path)
 
-    full_run = set(sizes) == set(SIZES)
+    for num_nodes in xl_sizes:
+        round_path = _benchmark_xl_round_path(num_nodes)
+        sizes_payload[num_nodes] = {
+            "round_path_only": True,
+            "round_path": round_path,
+        }
+        round_paths[num_nodes] = round_path
+        print()
+        _print_round_path(num_nodes, round_path)
+
+    full_run = set(sizes) == set(SIZES) and set(xl_sizes) == set(XL_ROUND_PATH_SIZES)
     if full_run:
         headline = sizes_payload[100]["improvement_vs_pr1_vectorized"][
             "floods_per_sec_interfered"
@@ -395,9 +577,19 @@ def test_flood_engine_throughput():
                     # interfered flood workload (the sweep/training inner loop).
                     "improvement_vs_pr1_100_nodes": headline,
                     # >= 2x over the PR 2 round path at 200 nodes on the
-                    # 32-slot round workload (in-run reference ratio).
+                    # 32-slot round workload (in-run reference ratio; the
+                    # CI bench-ratio gate re-measures this on every push).
                     "round_path_speedup_200_nodes": round_paths[200][
                         "speedup_vs_reference"
+                    ],
+                    # The one-shot reception kernel at the 500-node
+                    # acceptance size: exact batched kernel and log-matmul
+                    # mode vs the PR 3 per-flood product loop, in-run.
+                    "kernel_speedup_500_nodes": round_paths[500][
+                        "kernel_speedup_vs_product_loop"
+                    ],
+                    "log_speedup_500_nodes": round_paths[500][
+                        "log_speedup_vs_product_loop"
                     ],
                 },
                 indent=2,
@@ -423,14 +615,35 @@ def test_flood_engine_throughput():
                 round_paths[num_nodes],
             )
 
-    # The acceptance bar of PR 3: >= 2x over the PR 2 engine at 200
-    # nodes on the round-path workload.  Absolute session baseline ->
-    # only enforceable on comparable hardware (CI skips it).
-    if (
-        200 in round_paths
-        and os.environ.get("REPRO_BENCH_SKIP_PR1_BAR") != "1"
-    ):
-        assert round_paths[200]["improvement_vs_pr2_session"] >= 2.0, round_paths[200]
+    # PR 4 bars: the batched reception kernel must never fall behind
+    # the per-flood product loop it replaced, the log-matmul mode must
+    # buy >= 2x at 500+ nodes, and the log kernel must stay within its
+    # documented deviation envelope (all in-run / machine-independent).
+    for num_nodes, round_path in round_paths.items():
+        floor = KERNEL_FLOOR_VS_PRODUCT_LOOP.get(num_nodes)
+        if floor is not None:
+            assert round_path["kernel_speedup_vs_product_loop"] >= floor, (
+                num_nodes,
+                round_path,
+            )
+        log_bar = LOG_BARS_VS_PRODUCT_LOOP.get(num_nodes)
+        if log_bar is not None:
+            assert round_path["log_speedup_vs_product_loop"] >= log_bar, (
+                num_nodes,
+                round_path,
+            )
+        assert round_path["log_max_abs_deviation"] < LOG_DEVIATION_BOUND, (
+            num_nodes,
+            round_path,
+        )
+
+    # The PR 2 session baselines are recorded in the JSON as a
+    # trajectory reference but deliberately NOT asserted: they are
+    # absolute rates, and this machine's ~2x CPU-steal swings make any
+    # absolute bar flaky (observed 1.4x-2.4x for the same build within
+    # minutes).  The >= 2x round-path contract is enforced by the
+    # in-run speedup_vs_reference ratio above, whose two sides run
+    # interleaved in the same process so machine speed cancels.
 
     # The array-backed FloodResult + per-slot interference timeline of
     # PR 2 must buy >= 2x over the PR 1 vectorized engine at 100 nodes.

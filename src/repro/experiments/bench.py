@@ -20,10 +20,17 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ParallelRunner, ScenarioTask, stable_seed
+from repro.experiments.runner import (
+    FAILURE_KEY,
+    ParallelRunner,
+    RunnerError,
+    ScenarioTask,
+    stable_seed,
+)
+from repro.net.trace import atomic_write_json
 
 #: Default on-disk cache for grid results (content-hash keyed).
 DEFAULT_CACHE_DIR = Path(".repro_bench_cache")
@@ -48,20 +55,65 @@ def _print_stats(runner: ParallelRunner) -> None:
     )
 
 
+def _emit_output(
+    args: argparse.Namespace,
+    command: str,
+    payload: Dict[str, Any],
+    runner: ParallelRunner,
+    failed_shards: Sequence[Dict[str, Any]] = (),
+) -> int:
+    """Write the run's JSON artifact, print its path, return the exit code.
+
+    Every subcommand records its results (or its failure) to a JSON
+    file — ``--output`` or ``repro_bench_<command>.json`` — and always
+    prints the path.  A grid with failed shards exits nonzero and lists
+    the shards in the artifact; the runner itself never caches
+    failures, so a re-run recomputes exactly the failed points.
+    """
+    path = Path(args.output) if args.output else Path(f"repro_bench_{command}.json")
+    stats = runner.stats
+    payload = dict(payload)
+    payload["command"] = command
+    payload["runner_stats"] = {
+        "executed": stats.executed,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+    }
+    payload["failed_shards"] = list(failed_shards)
+    atomic_write_json(path, payload)
+    print(f"[output] {path}")
+    if failed_shards:
+        print(
+            f"[error] {len(failed_shards)} failed shard(s); see {path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _runner_failure(error: RunnerError) -> List[Dict[str, Any]]:
+    """Failed-shard entries for a grid aborted by :class:`RunnerError`."""
+    return [{"task": error.task.describe(), "error": repr(error.cause)}]
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Fig. 5: protocol x interference-ratio sweep."""
     from repro.experiments.interference_sweep import run_interference_sweep_parallel
 
     runner = _runner(args)
-    sweep = run_interference_sweep_parallel(
-        runner,
-        network=_load_network(),
-        ratios=tuple(args.ratios),
-        rounds_per_run=args.rounds,
-        runs=args.runs,
-        seed=args.seed,
-    )
+    try:
+        sweep = run_interference_sweep_parallel(
+            runner,
+            network=_load_network(),
+            ratios=tuple(args.ratios),
+            rounds_per_run=args.rounds,
+            runs=args.runs,
+            seed=args.seed,
+        )
+    except RunnerError as error:
+        return _emit_output(args, "sweep", {}, runner, _runner_failure(error))
     rows = []
+    points: Dict[str, Dict[str, Any]] = {}
     for ratio in sweep.ratios():
         row = [f"{ratio * 100:.0f}%"]
         for protocol in ("lwb", "dimmer", "pid"):
@@ -69,6 +121,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             row.append(
                 f"{point.metrics.reliability:.3f} / {point.metrics.radio_on_ms:.2f}ms"
             )
+            points.setdefault(protocol, {})[f"{ratio}"] = point.metrics.as_dict()
         rows.append(row)
     print(format_table(
         ["interference", "LWB", "Dimmer", "PID"],
@@ -76,7 +129,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         title="Fig. 5: reliability / radio-on per interference ratio",
     ))
     _print_stats(runner)
-    return 0
+    return _emit_output(args, "sweep", {"points": points}, runner)
 
 
 def cmd_dcube(args: argparse.Namespace) -> int:
@@ -84,19 +137,27 @@ def cmd_dcube(args: argparse.Namespace) -> int:
     from repro.experiments.dcube import run_dcube_comparison_parallel
 
     runner = _runner(args)
-    comparison = run_dcube_comparison_parallel(
-        runner,
-        network=_load_network(),
-        num_rounds=args.rounds,
-        num_sources=args.sources,
-        seed=args.seed,
-    )
+    try:
+        comparison = run_dcube_comparison_parallel(
+            runner,
+            network=_load_network(),
+            num_rounds=args.rounds,
+            num_sources=args.sources,
+            seed=args.seed,
+        )
+    except RunnerError as error:
+        return _emit_output(args, "dcube", {}, runner, _runner_failure(error))
     rows = []
+    points: Dict[str, Dict[str, Any]] = {}
     for level in comparison.levels():
         row = [f"level {level}"]
         for protocol in ("lwb", "dimmer", "crystal"):
             result = comparison.get(protocol, level)
             row.append(f"{result.reliability:.3f} / {result.energy_j:.1f}J")
+            points.setdefault(protocol, {})[f"{level}"] = {
+                "reliability": result.reliability,
+                "energy_j": result.energy_j,
+            }
         rows.append(row)
     print(format_table(
         ["scenario", "LWB", "Dimmer", "Crystal"],
@@ -104,7 +165,7 @@ def cmd_dcube(args: argparse.Namespace) -> int:
         title="Fig. 7: D-Cube reliability / energy",
     ))
     _print_stats(runner)
-    return 0
+    return _emit_output(args, "dcube", {"points": points}, runner)
 
 
 def cmd_features(args: argparse.Namespace) -> int:
@@ -119,16 +180,19 @@ def cmd_features(args: argparse.Namespace) -> int:
         training_iterations=args.iterations,
         anneal_steps=max(1, args.iterations // 2),
     )
-    result = run_feature_sweep_parallel(
-        runner,
-        args.dimension,
-        values=tuple(args.values),
-        models_per_value=args.models,
-        profile=profile,
-        evaluation_repeats=1,
-        data_dir=default_data_dir(),
-        seed=args.seed,
-    )
+    try:
+        result = run_feature_sweep_parallel(
+            runner,
+            args.dimension,
+            values=tuple(args.values),
+            models_per_value=args.models,
+            profile=profile,
+            evaluation_repeats=1,
+            data_dir=default_data_dir(),
+            seed=args.seed,
+        )
+    except RunnerError as error:
+        return _emit_output(args, "features", {}, runner, _runner_failure(error))
     rows = [
         [point.value, point.reliability, point.radio_on_ms, point.dqn_size_kb]
         for point in result.points
@@ -139,7 +203,23 @@ def cmd_features(args: argparse.Namespace) -> int:
         title=f"Fig. 4b: {args.dimension} sweep",
     ))
     _print_stats(runner)
-    return 0
+    return _emit_output(
+        args,
+        "features",
+        {
+            "dimension": args.dimension,
+            "points": [
+                {
+                    "value": point.value,
+                    "reliability": point.reliability,
+                    "radio_on_ms": point.radio_on_ms,
+                    "dqn_size_kb": point.dqn_size_kb,
+                }
+                for point in result.points
+            ],
+        },
+        runner,
+    )
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
@@ -155,6 +235,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             params = {
                 "protocol": protocol,
                 "rounds": args.rounds,
+                "engine": args.engine,
             }
             if protocol == "dimmer":
                 params["network"] = payload
@@ -166,23 +247,44 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                     label=f"{args.family}:{protocol}#{run_index}",
                 )
             )
-    results = runner.run(tasks)
+    results = runner.run(tasks, collect_errors=True)
+    failed = [entry for entry in results if entry.get(FAILURE_KEY)]
     rows = []
+    summary: Dict[str, Any] = {}
     cursor = 0
     for protocol in args.protocols:
-        entries = results[cursor: cursor + args.runs]
+        entries = [
+            entry
+            for entry in results[cursor: cursor + args.runs]
+            if not entry.get(FAILURE_KEY)
+        ]
         cursor += args.runs
+        if not entries:
+            rows.append([protocol, "failed", "failed", "failed"])
+            continue
         reliability = sum(e["reliability"] for e in entries) / len(entries)
         radio = sum(e["radio_on_ms"] for e in entries) / len(entries)
         energy = sum(e["energy_j"] for e in entries) / len(entries)
         rows.append([protocol, reliability, radio, energy])
+        summary[protocol] = {
+            "reliability": reliability,
+            "radio_on_ms": radio,
+            "energy_j": energy,
+            "runs": len(entries),
+        }
     print(format_table(
         ["protocol", "reliability", "radio-on [ms]", "energy [J]"],
         rows,
         title=f"{args.family} scenario: Dimmer vs baselines",
     ))
     _print_stats(runner)
-    return 0
+    return _emit_output(
+        args,
+        "scenarios",
+        {"family": args.family, "engine": args.engine, "protocols": summary},
+        runner,
+        failed,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
     common.add_argument("--seed", type=int, default=0, help="base seed of the grid")
+    common.add_argument(
+        "--output", default=None,
+        help="path of the JSON results artifact "
+             "(default: repro_bench_<command>.json; always printed)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -239,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--protocols", nargs="+", default=["lwb", "dimmer", "pid"])
     scenarios.add_argument("--rounds", type=int, default=40)
     scenarios.add_argument("--runs", type=int, default=3)
+    scenarios.add_argument(
+        "--engine", choices=("scalar", "vectorized", "vectorized-log"),
+        default="vectorized",
+        help="flood engine for the scenario simulators; vectorized-log "
+             "enables the log-domain matmul reception kernel meant for "
+             "1000+ node topologies",
+    )
     scenarios.set_defaults(func=cmd_scenarios)
 
     return parser

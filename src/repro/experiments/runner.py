@@ -34,7 +34,7 @@ import hashlib
 import json
 import multiprocessing
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import ALL_COMPLETED, FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
@@ -123,6 +123,17 @@ class RunnerError(RuntimeError):
         self.cause = cause
 
 
+#: Marker key of a failed-shard result entry (``collect_errors`` mode).
+#: ``_cache_load`` refuses to serve entries carrying it, so failures can
+#: never be absorbed by the on-disk cache.
+FAILURE_KEY = "__failed__"
+
+
+def failure_entry(task: ScenarioTask, cause: BaseException) -> Dict[str, Any]:
+    """Result entry describing a failed shard (never written to the cache)."""
+    return {FAILURE_KEY: True, "task": task.describe(), "error": repr(cause)}
+
+
 def _execute_task(task: ScenarioTask) -> Dict[str, Any]:
     """Worker entry point: resolve the experiment and run it."""
     try:
@@ -206,10 +217,16 @@ class ParallelRunner:
             return None
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+                result = json.load(handle)
         except (OSError, json.JSONDecodeError):
             # A torn or corrupted entry is a miss: recompute and overwrite.
             return None
+        if isinstance(result, dict) and result.get(FAILURE_KEY):
+            # Never serve a recorded failure as a grid result: a failed
+            # shard absorbed by the cache would silently poison every
+            # re-run.  Treat it as a miss and recompute.
+            return None
+        return result
 
     def _cache_store(self, task: ScenarioTask, result: Dict[str, Any]) -> None:
         path = self._cache_path(task)
@@ -221,12 +238,20 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, tasks: Sequence[ScenarioTask]) -> List[Dict[str, Any]]:
+    def run(
+        self, tasks: Sequence[ScenarioTask], collect_errors: bool = False
+    ) -> List[Dict[str, Any]]:
         """Execute every task and return their results in task order.
 
         Cached results are returned without re-execution; the remaining
-        tasks run on the worker pool.  The first worker failure aborts
-        the run by raising :class:`RunnerError`.
+        tasks run on the worker pool.  By default the first worker
+        failure aborts the run by raising :class:`RunnerError`; with
+        ``collect_errors`` the grid completes and each failed shard
+        yields a :func:`failure_entry` dict (flagged with
+        :data:`FAILURE_KEY`) in its result slot instead — failures are
+        never written to the cache, and cached entries carrying the
+        marker are treated as misses, so a failed shard can never be
+        silently served from disk.
         """
         tasks = list(tasks)
         results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
@@ -247,7 +272,10 @@ class ParallelRunner:
                     try:
                         results[index] = _execute_task(tasks[index])
                     except BaseException as exc:
-                        raise RunnerError(tasks[index], exc) from exc
+                        if not collect_errors:
+                            raise RunnerError(tasks[index], exc) from exc
+                        results[index] = failure_entry(tasks[index], exc)
+                        continue
                     self._cache_store(tasks[index], results[index])
                     self.stats.executed += 1
             else:
@@ -257,14 +285,21 @@ class ParallelRunner:
                     futures = {
                         pool.submit(_execute_task, tasks[index]): index for index in pending
                     }
-                    wait(futures, return_when=FIRST_EXCEPTION)
+                    wait(
+                        futures,
+                        return_when=ALL_COMPLETED if collect_errors else FIRST_EXCEPTION,
+                    )
                     for future, index in futures.items():
                         error = future.exception() if future.done() else None
                         if error is not None:
-                            for other in futures:
-                                other.cancel()
-                            raise RunnerError(tasks[index], error) from error
+                            if not collect_errors:
+                                for other in futures:
+                                    other.cancel()
+                                raise RunnerError(tasks[index], error) from error
+                            results[index] = failure_entry(tasks[index], error)
                     for future, index in futures.items():
+                        if results[index] is not None:
+                            continue
                         results[index] = future.result()
                         self._cache_store(tasks[index], results[index])
                         self.stats.executed += 1
@@ -486,6 +521,7 @@ def run_trace_episode(
     ambient_rate: float = 0.02,
     round_period_s: float = 4.0,
     interference_seed: int = 0,
+    churn: Sequence[Mapping[str, Any]] = (),
 ) -> Dict[str, Any]:
     """One (episode, N_TX) slice of the trace collection.
 
@@ -504,6 +540,7 @@ def run_trace_episode(
         round_period_s,
         episode_seed=seed,
         interference_seed=int(interference_seed),
+        churn=churn,
     )
     return {"records": records}
 

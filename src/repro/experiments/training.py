@@ -36,6 +36,7 @@ from repro.rl.qnetwork import QNetwork
 from repro.rl.reward import RewardConfig
 from repro.rl.trace_env import (
     DEFAULT_TRAINING_EPISODES,
+    ChurnSchedule,
     EpisodeSpec,
     TraceEnvironment,
     TraceRecorder,
@@ -104,6 +105,10 @@ class TrainingPipeline:
     profile: TrainingProfile = field(default_factory=TrainingProfile.standard)
     episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES
     ambient_rate: float = 0.02
+    #: Optional churn schedule applied to every training episode (see
+    #: :data:`~repro.rl.trace_env.ChurnSchedule`): link mutations occur
+    #: mid-episode, so the DQN's traces include node-churn conditions.
+    churn: ChurnSchedule = ()
     data_dir: Path = field(default_factory=default_data_dir)
     seed: int = 0
 
@@ -120,6 +125,10 @@ class TrainingPipeline:
             "n_max": self.feature_config.n_max,
             "seed": self.seed,
         }
+        if self.churn:
+            # Only churn-enabled pipelines extend the key, so every
+            # pre-existing cached trace file keeps its name.
+            payload["churn"] = [dict(event) for event in self.churn]
         digest = hashlib.sha1(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:12]
         return f"traces_{self.topology.name}_{digest}.json"
 
@@ -161,6 +170,7 @@ class TrainingPipeline:
             n_max=self.feature_config.n_max,
             ambient_rate=self.ambient_rate,
             seed=self.seed,
+            churn=self.churn,
         )
         trace = recorder.record(episodes=self.episodes, repetitions=self.profile.trace_repetitions)
         trace.save(path)

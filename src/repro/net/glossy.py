@@ -295,7 +295,79 @@ class FloodResult:
 
 
 #: Flood engine implementations selectable via ``SimulatorConfig.engine``.
-FLOOD_ENGINES = ("scalar", "vectorized")
+#: ``"vectorized-log"`` behaves exactly like ``"vectorized"`` except in
+#: :meth:`GlossyFlood.run_batch`, where it assembles the multi-transmitter
+#: reception probabilities through one log-domain matmul per phase
+#: (approximate to ~1e-12, targeted at 1000+ node topologies where BLAS
+#: beats the exact gather-product kernel).
+FLOOD_ENGINES = ("scalar", "vectorized", "vectorized-log")
+
+#: Batched reception-probability kernels of the vectorized batch path.
+#: ``"batched"`` evaluates a whole phase's (flood, receiver) grid with one
+#: segmented masked product; ``"per-flood"`` is the PR 3 reference loop
+#: (one ``failure[tx].prod(axis=0)`` per flood), kept selectable for the
+#: in-run benchmark ratio and for kernel-parity tests.
+RECEPTION_KERNELS = ("batched", "per-flood")
+
+#: Element budget of one gathered transmitter-row chunk in the batched
+#: kernel (float64 count, ~2 MB): keeps the gather and its product
+#: inside the cache and the reusable workspace small, without changing
+#: results (chunking splits the flood axis, never a flood's factors).
+KERNEL_CHUNK_ELEMENTS = 262_144
+
+#: Minimum (floods x undecided listeners) row size, in float64
+#: elements, for the streaming-accumulator variant of the exact kernel;
+#: smaller rows are dispatch-bound and take the chunked gather+reduce.
+KERNEL_STREAM_MIN_ROW = 3_072
+
+
+def _finish_pending_transmissions(
+    next_tx: np.ndarray,
+    transmissions: np.ndarray,
+    n_tx_vec: np.ndarray,
+    off_after: np.ndarray,
+    on_air: np.ndarray,
+    num_phases: int,
+    flood_mask: Optional[np.ndarray] = None,
+) -> None:
+    """Replay the deterministic tail of fully-decoded floods in closed form.
+
+    Once every on-air node of a flood has decoded, no future draw can
+    change any state: receptions are no-ops (``received`` is full) and
+    re-arming requires an unarmed node, but every on-air node with
+    budget left is armed.  Pending transmitters therefore just
+    alternate — transmit at ``next_tx``, then every second phase —
+    until their budget is spent (radio off right after the last
+    transmission) or the slot ends (radio stays on).  Applying that
+    schedule directly is bit-identical to iterating the leftover
+    phases.  Armed nodes always satisfy ``transmissions < n_tx_vec``
+    (spending the budget disarms and switches off in the same phase),
+    so the remaining budget below is at least 1.
+
+    ``flood_mask`` restricts the replay to the flagged rows of the
+    ``(K, N)`` state arrays, so individual floods retire from the batch
+    as soon as they decode while undecided floods keep iterating (their
+    draws were generated up front, so their streams are unaffected).
+    """
+    pending = next_tx >= 0
+    if flood_mask is not None:
+        pending &= flood_mask[:, None]
+    if not pending.any():
+        return
+    first = next_tx[pending]
+    remaining = (n_tx_vec - transmissions)[pending]
+    fits = np.maximum(0, (num_phases - first + 1) // 2)
+    executed = np.minimum(remaining, fits)
+    transmissions[pending] += executed
+    finished = executed == remaining
+    last_phase = first + 2 * (remaining - 1)
+    off_after[pending] = np.where(finished, last_phase + 1, np.int64(-1))
+    next_tx[pending] = -1
+    # Every on-air node of a decided flood is armed (and therefore
+    # pending), so this leaves the flood entirely off air — the later
+    # phases' ``done`` bookkeeping must not touch its replayed
+    # ``off_after`` values.
+    on_air &= ~pending
 
 
 class GlossyFlood:
@@ -316,7 +388,9 @@ class GlossyFlood:
         ``"scalar"`` runs the per-node reference implementation;
         ``"vectorized"`` advances each phase with NumPy state vectors
         and batched reception draws (statistically equivalent, much
-        faster on large topologies).
+        faster on large topologies); ``"vectorized-log"`` additionally
+        switches :meth:`run_batch` to the log-domain matmul kernel
+        (approximate-but-close, for 1000+ node topologies).
     """
 
     def __init__(
@@ -327,13 +401,18 @@ class GlossyFlood:
         rng: Optional[np.random.Generator] = None,
         engine: str = "scalar",
     ) -> None:
-        if engine not in FLOOD_ENGINES:
-            raise ValueError(f"engine must be one of {FLOOD_ENGINES}, got {engine!r}")
         self.topology = topology
         self.link_model = link_model if link_model is not None else LinkModel(topology)
         self.radio = radio if radio is not None else RadioModel()
         self.rng = rng if rng is not None else np.random.default_rng()
-        self.engine = engine
+        self.engine = engine  # validated by the property setter
+        self._reception_kernel = "batched"
+        #: Failure matrix with an all-ones padding row, cached for the
+        #: batched kernel (see :meth:`_failure_padded`).
+        self._failure_padded_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: Reusable kernel workspaces (fresh per-phase temporaries cost
+        #: more in page faults than the arithmetic they carry).
+        self._workspaces: Dict[str, np.ndarray] = {}
         #: Node ids in ``LinkModel.prr_matrix`` index order.
         self.node_ids: Tuple[int, ...] = tuple(topology.node_ids)
         self._ids_arr = np.array(self.node_ids, dtype=np.int64)
@@ -343,6 +422,40 @@ class GlossyFlood:
         self._coords = np.array(
             [topology.positions[node] for node in self.node_ids], dtype=float
         )
+
+    @property
+    def engine(self) -> str:
+        """Flood engine implementation (see :data:`FLOOD_ENGINES`).
+
+        Assignment is validated so a misspelled engine can never
+        silently select the default vectorized path.
+        """
+        return self._engine
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        if value not in FLOOD_ENGINES:
+            raise ValueError(f"engine must be one of {FLOOD_ENGINES}, got {value!r}")
+        self._engine = value
+
+    @property
+    def reception_kernel(self) -> str:
+        """Batched-path reception kernel (see :data:`RECEPTION_KERNELS`).
+
+        The default ``"batched"`` is bit-for-bit identical to the
+        ``"per-flood"`` reference loop, which benchmarks re-select for
+        the in-run speedup ratio; assignment is validated so a typo
+        cannot silently fall back to the default kernel.
+        """
+        return self._reception_kernel
+
+    @reception_kernel.setter
+    def reception_kernel(self, value: str) -> None:
+        if value not in RECEPTION_KERNELS:
+            raise ValueError(
+                f"reception_kernel must be one of {RECEPTION_KERNELS}, got {value!r}"
+            )
+        self._reception_kernel = value
 
     def _normalize_n_tx(
         self,
@@ -474,7 +587,9 @@ class GlossyFlood:
         phase_ms = self.radio.phase_duration_ms(packet_bytes)
         num_phases = max(1, int(math.floor(slot_ms / phase_ms)))
 
-        if self.engine == "vectorized":
+        if self.engine != "scalar":
+            # "vectorized-log" only changes the batched kernel; a single
+            # flood always runs the exact vectorized path.
             n_tx_vec = self._n_tx_vector(n_tx, part_mask, part_list)
             init_idx = index[initiator]
             n_tx_vec[init_idx] = max(1, n_tx_vec[init_idx])
@@ -531,11 +646,19 @@ class GlossyFlood:
         state arrays, amortizing the per-phase NumPy dispatch overhead
         across the batch.
 
-        The result list is **bit-for-bit identical** to calling
-        :meth:`run` once per flood in order under the same generator:
-        the random draws are generated flood by flood (preserving the
-        stream), and every per-phase update applies the same arithmetic
-        to the same values.  The scalar engine simply loops :meth:`run`.
+        Under the ``"vectorized"`` engine the result list is
+        **bit-for-bit identical** to calling :meth:`run` once per flood
+        in order under the same generator: the random draws are
+        generated flood by flood (preserving the stream), and every
+        per-phase update applies the same arithmetic to the same values
+        — including the batched reception kernel, whose masked products
+        interleave only exact ``* 1.0`` factors with the per-flood
+        products, and the flood-level early exit, which replays the
+        deterministic tail of fully-decoded floods in closed form.  The
+        ``"vectorized-log"`` engine swaps the multi-transmitter product
+        for one log-domain matmul per phase (approximate to ~1e-12 in
+        the probabilities, so individual draws may flip); the scalar
+        engine simply loops :meth:`run`.
 
         Parameters
         ----------
@@ -562,7 +685,7 @@ class GlossyFlood:
         )
         if len(channel_list) != count or len(start_list) != count:
             raise ValueError("channels and start_times must match initiators")
-        if self.engine != "vectorized" or count <= 1:
+        if self.engine == "scalar" or count <= 1:
             return [
                 self.run(
                     initiator=initiator,
@@ -875,12 +998,18 @@ class GlossyFlood:
 
         State lives in ``(K, N)`` arrays (one row per flood); every
         per-phase operation of :meth:`_run_vectorized` maps onto the
-        batch unchanged, except the reception-probability assembly,
-        which stays per-flood because each flood has its own transmitter
-        set.  Floods without a transmitter in a given phase get an
-        all-zero probability row, which makes every update a no-op for
-        them — exactly the phases :meth:`_run_vectorized` skips — so
-        batch results equal sequential results bit for bit.
+        batch unchanged — including the reception-probability assembly,
+        which the batched kernel evaluates for the whole phase's
+        (flood, receiver) grid in constant Python overhead (see
+        :meth:`_phase_success_batched`).  Floods without a transmitter
+        in a given phase get an all-zero probability row, which makes
+        every update a no-op for them — exactly the phases
+        :meth:`_run_vectorized` skips — so batch results equal
+        sequential results bit for bit.  Interference penalties apply as
+        one ``(K, N)`` multiply per phase (rows without a burst multiply
+        by exactly ``1.0``), and once every flood is either inert or
+        fully decoded the remaining transmission schedule is applied in
+        closed form instead of iterating the leftover phases.
         """
         n_all = self._n
         count = len(initiators)
@@ -925,6 +1054,14 @@ class GlossyFlood:
             on_air = np.ones((count, n_all), dtype=bool)
         else:
             on_air = np.broadcast_to(part_mask, (count, n_all)).copy()
+        per_flood_kernel = self.engine == "vectorized" and (
+            self.reception_kernel == "per-flood"
+        )
+        log_failure = (
+            self.link_model.log_failure_matrix()
+            if self.engine == "vectorized-log"
+            else None
+        )
         probabilities = np.zeros((count, n_all))
         stale_rows: List[int] = []
         for phase in range(num_phases):
@@ -934,27 +1071,62 @@ class GlossyFlood:
             if len(active) == 0:
                 # No flood transmits: no state can change this phase.
                 continue
-            # Per-flood probability rows (each flood has its own
-            # transmitter set); inactive floods keep an all-zero row,
-            # turning every update below into a no-op for them.  Rows
-            # written in an earlier phase are zeroed individually —
-            # rows of floods active again get overwritten below anyway.
-            active_set = set(active.tolist())
-            for k in stale_rows:
-                if k not in active_set:
-                    probabilities[k] = 0.0
-            stale_rows = active.tolist()
-            for k in active:
-                tx_indices = transmit[k].nonzero()[0]
-                row = probabilities[k]
-                if len(tx_indices) == 1:
-                    np.copyto(row, prr[tx_indices[0]])
-                else:
-                    np.subtract(1.0, link_failure[tx_indices].prod(axis=0), out=row)
-                    row *= boost_factor
-                    np.minimum(row, 1.0, out=row)
-                if not no_interference and penalized_phases[phase, k]:
-                    row *= 1.0 - timelines[phase, k]
+            if per_flood_kernel:
+                # PR 3 reference: one probability row at a time (each
+                # flood has its own transmitter set); inactive floods
+                # keep an all-zero row, turning every update below into
+                # a no-op for them.  Rows written in an earlier phase
+                # are zeroed individually — rows of floods active again
+                # get overwritten below anyway.
+                active_set = set(active.tolist())
+                for k in stale_rows:
+                    if k not in active_set:
+                        probabilities[k] = 0.0
+                stale_rows = active.tolist()
+                for k in active:
+                    tx_indices = transmit[k].nonzero()[0]
+                    row = probabilities[k]
+                    if len(tx_indices) == 1:
+                        np.copyto(row, prr[tx_indices[0]])
+                    else:
+                        np.subtract(1.0, link_failure[tx_indices].prod(axis=0), out=row)
+                        row *= boost_factor
+                        np.minimum(row, 1.0, out=row)
+                    if not no_interference and penalized_phases[phase, k]:
+                        row *= 1.0 - timelines[phase, k]
+            else:
+                # One kernel call covers the whole phase's
+                # (flood, receiver) grid, restricted to the undecided
+                # listeners — the only receivers whose draws can still
+                # change state (a received on-air node is either armed,
+                # so it cannot re-arm, or about to switch off), so the
+                # restriction is bit-identical.  Inactive rows and
+                # decided columns stay zero.
+                probabilities.fill(0.0)
+                undecided = on_air & ~received
+                # Floods whose own listeners have all decoded draw no
+                # consequences from this phase's successes; only the
+                # others need probability rows.
+                active = active[undecided[active].any(axis=1)]
+                columns = np.flatnonzero(undecided[active].any(axis=0))
+                if len(active) and len(columns):
+                    self._phase_success_batched(
+                        transmit,
+                        tx_counts,
+                        active,
+                        columns,
+                        prr,
+                        link_failure,
+                        log_failure,
+                        boost_factor,
+                        probabilities,
+                    )
+                    if not no_interference and penalized_phases[phase].any():
+                        # Batched penalty: rows without a burst multiply
+                        # by exactly 1.0 and zero rows stay zero, so one
+                        # (K, N) multiply equals the per-flood
+                        # application.
+                        probabilities *= 1.0 - timelines[phase]
             success = (draws[phase] < probabilities) & (on_air ^ transmit)
             newly = success & ~received
             received |= newly
@@ -976,8 +1148,31 @@ class GlossyFlood:
                 off_after[done] = phase + 1
                 on_air ^= done
 
-            if not (next_tx >= 0).any():
+            pending_any = (next_tx >= 0).any(axis=1)
+            if not pending_any.any():
                 break
+            if not per_flood_kernel:
+                # Flood-level early exit: a flood whose on-air nodes
+                # have all decoded evolves deterministically (armed
+                # transmitters just spend their budget every second
+                # phase, and no draw can change any state), so its
+                # leftover phases are replayed in closed form and the
+                # flood retires from the batch.  The draws were
+                # generated up front, so still-undecided floods keep
+                # bit-identical streams.
+                decided = pending_any & ~(on_air & ~received).any(axis=1)
+                if decided.any():
+                    _finish_pending_transmissions(
+                        next_tx,
+                        transmissions,
+                        n_tx_vec,
+                        off_after,
+                        on_air,
+                        num_phases,
+                        flood_mask=decided,
+                    )
+                    if not (next_tx >= 0).any():
+                        break
 
         on_phases = np.where(off_after < 0, num_phases, np.minimum(off_after, num_phases))
         radio_on = np.minimum(slot_ms, on_phases * phase_ms)
@@ -1014,3 +1209,164 @@ class GlossyFlood:
                 )
             )
         return results
+
+    def _failure_padded(self, link_failure: np.ndarray) -> np.ndarray:
+        """``link_failure`` with an all-ones padding row appended.
+
+        Row ``N`` multiplies by exactly ``1.0``, which is what lets the
+        batched kernel pad every flood's transmitter list to a shared
+        length without changing any product.  Cached per failure matrix
+        (link-quality mutations swap the matrix object, refreshing the
+        cache).
+        """
+        cached = self._failure_padded_cache
+        if cached is None or cached[0] is not link_failure:
+            padded = np.concatenate(
+                [link_failure, np.ones((1, link_failure.shape[1]))], axis=0
+            )
+            cached = (link_failure, padded)
+            self._failure_padded_cache = cached
+        return cached[1]
+
+    def _workspace(self, name: str, size: int) -> np.ndarray:
+        """A reusable float64 scratch vector of at least ``size`` elements.
+
+        The batched kernel runs every phase with differently-shaped
+        temporaries; allocating them fresh costs more in page faults
+        than the arithmetic they carry, so each named workspace grows
+        monotonically and is re-sliced per call.
+        """
+        buffer = self._workspaces.get(name)
+        if buffer is None or buffer.size < size:
+            buffer = np.empty(size)
+            self._workspaces[name] = buffer
+        return buffer[:size]
+
+    def _phase_success_batched(
+        self,
+        transmit: np.ndarray,
+        tx_counts: np.ndarray,
+        active: np.ndarray,
+        columns: np.ndarray,
+        prr: np.ndarray,
+        link_failure: np.ndarray,
+        log_failure: Optional[np.ndarray],
+        boost_factor: float,
+        out: np.ndarray,
+    ) -> None:
+        """Fill ``out[np.ix_(active, columns)]`` with reception probabilities.
+
+        One kernel call evaluates a whole phase: ``active`` flags the
+        floods with at least one transmitter and at least one undecided
+        listener, ``columns`` the union of their undecided listeners
+        (on air, not yet received — the only receivers whose draws can
+        still change any state, so restricting the grid is
+        bit-identical; every other entry of ``out`` must already be
+        zero).
+
+        **Exact kernel** (``log_failure is None``): the masked product
+        ``np.prod(np.where(mask[:, :, None], failure[None], 1.0), axis=1)``
+        evaluated without materializing the ``(K, N, N)`` cube — every
+        flood's transmitter rows are padded to a shared length with the
+        all-ones row of :meth:`_failure_padded`, gathered
+        transmitter-major into a reusable workspace, and reduced with
+        one ``multiply.reduce`` per chunk.  Transmitter rows that are
+        ``1.0`` at every undecided column are dropped up front (exact
+        no-op factors), and the remaining factors multiply in the same
+        order as the per-flood ``failure[tx].prod(axis=0)`` loop with
+        only exact ``* 1.0`` padding appended at segment tails, so
+        results are bit-for-bit identical.  Chunking along the flood
+        axis keeps each gather + product inside
+        :data:`KERNEL_CHUNK_ELEMENTS` doubles (cache-resident).
+
+        **Log kernel** (``"vectorized-log"``): one
+        ``(A, N) x (N, U)`` matmul of the transmitter masks against
+        ``log1p(-prr)`` sums the failure logs, and ``-expm1`` maps the
+        sums back to success probabilities — approximate (log/exp
+        round-trip, deviations around 1e-12), but constant memory and
+        BLAS-fast on 1000+ node topologies.
+
+        Both kernels apply the capture boost only to floods with >= 2
+        transmitters and serve single-transmitter floods straight from
+        the PRR matrix (so phase 0 — the initiator's solo transmission
+        — stays exact even in log mode).
+        """
+        counts = tx_counts[active]
+        multi = counts >= 2
+        single = ~multi  # every active flood has >= 1 transmitter
+        num_cols = len(columns)
+        if single.any():
+            solo_rows = active[single]
+            # Exactly one transmitter per solo flood: its PRR row is
+            # the success probability (no capture boost).
+            solo_tx = transmit[solo_rows].argmax(axis=1)
+            out[np.ix_(solo_rows, columns)] = prr[np.ix_(solo_tx, columns)]
+        if not multi.any():
+            return
+        rows = active[multi]
+
+        if log_failure is not None:
+            block = transmit[rows].astype(np.float64) @ log_failure[:, columns]
+            np.expm1(block, out=block)
+            np.negative(block, out=block)
+            block *= boost_factor
+            np.minimum(block, 1.0, out=block)
+            out[np.ix_(rows, columns)] = block
+            return
+
+        n = self._n
+        padded = self._failure_padded(link_failure)
+        if num_cols < n:
+            sliced = self._workspace("columns", (n + 1) * num_cols)
+            sliced = sliced.reshape(n + 1, num_cols)
+            np.take(padded, columns, axis=1, out=sliced)
+            padded = sliced
+        # Transmitters whose failure row is 1.0 at every undecided
+        # column contribute exact no-op factors; drop their rows.  The
+        # remaining factors keep their ascending order, so the running
+        # products match the dense formulation value for value.
+        relevant = (padded[:n] != 1.0).any(axis=1)
+        tx_used = transmit[rows] & relevant
+        counts_used = tx_used.sum(axis=1)
+        t_max = max(1, int(counts_used.max()))
+        num_multi = len(rows)
+        # Padded transmitter-row indices, transmitter-major: row N is
+        # the all-ones row, and a flood with no relevant transmitter
+        # keeps an all-padding column (product 1.0 -> probability 0).
+        idx = np.full((t_max, num_multi), n, dtype=np.int64)
+        valid = np.arange(t_max)[None, :] < counts_used[:, None]
+        idx.T[valid] = np.nonzero(tx_used)[1]
+        if num_multi * num_cols >= KERNEL_STREAM_MIN_ROW:
+            # Stream the factors through a cache-resident (A, U)
+            # accumulator, one transmitter row set at a time — the same
+            # sequential multiplications as the materialized reduce,
+            # without writing the gathered factors anywhere.  Below the
+            # row-size threshold the per-row dispatches dominate and
+            # the chunked gather + reduce wins.
+            block = self._workspace("product", num_multi * num_cols)
+            block = block.reshape(num_multi, num_cols)
+            row = self._workspace("gather", num_multi * num_cols)
+            row = row.reshape(num_multi, num_cols)
+            np.take(padded, idx[0], axis=0, out=block)
+            for position in range(1, t_max):
+                np.take(padded, idx[position], axis=0, out=row)
+                np.multiply(block, row, out=block)
+            np.subtract(1.0, block, out=block)
+            block *= boost_factor
+            np.minimum(block, 1.0, out=block)
+            out[np.ix_(rows, columns)] = block
+            return
+        flood_budget = max(1, KERNEL_CHUNK_ELEMENTS // max(1, t_max * num_cols))
+        for start in range(0, num_multi, flood_budget):
+            stop = min(start + flood_budget, num_multi)
+            width = (stop - start) * num_cols
+            gathered = self._workspace("gather", t_max * width)
+            gathered = gathered.reshape(t_max * (stop - start), num_cols)
+            np.take(padded, idx[:, start:stop].reshape(-1), axis=0, out=gathered)
+            block = self._workspace("product", width)
+            np.multiply.reduce(gathered.reshape(t_max, width), axis=0, out=block)
+            block = block.reshape(stop - start, num_cols)
+            np.subtract(1.0, block, out=block)
+            block *= boost_factor
+            np.minimum(block, 1.0, out=block)
+            out[np.ix_(rows[start:stop], columns)] = block

@@ -445,8 +445,14 @@ class LWBRoundEngine:
     rng:
         Random generator shared by all floods of this engine.
     engine:
-        Flood engine implementation (``"scalar"`` reference or
-        ``"vectorized"``, see :class:`~repro.net.glossy.GlossyFlood`).
+        Flood engine implementation (``"scalar"`` reference,
+        ``"vectorized"``, or ``"vectorized-log"`` — the log-domain
+        matmul reception kernel for 1000+ node topologies; see
+        :class:`~repro.net.glossy.GlossyFlood`).  The batched data-slot
+        phase loop of the store round path is what the engine choice
+        accelerates; :attr:`flood` exposes the underlying
+        :class:`~repro.net.glossy.GlossyFlood` (benchmarks re-select
+        its ``reception_kernel`` for in-run reference ratios).
     """
 
     def __init__(
@@ -472,6 +478,16 @@ class LWBRoundEngine:
         self.packet_bytes = packet_bytes
         self.rng = rng if rng is not None else np.random.default_rng()
         self._flood = GlossyFlood(topology, self.link_model, self.radio, self.rng, engine=engine)
+
+    @property
+    def flood(self) -> GlossyFlood:
+        """The flood engine executing this round engine's slots."""
+        return self._flood
+
+    @property
+    def engine(self) -> str:
+        """Name of the flood engine implementation in use."""
+        return self._flood.engine
 
     def round_airtime_ms(self, num_data_slots: int) -> float:
         """Total on-air duration of a round with ``num_data_slots`` data slots."""

@@ -26,7 +26,7 @@ Two environments are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,119 @@ from repro.rl.reward import RewardConfig, compute_reward
 #: interference ratio).  Ratio 0.0 means no controlled jamming (only the
 #: ambient background, if enabled).
 EpisodeSpec = Sequence[Tuple[int, float]]
+
+#: A churn schedule: link-quality mutations applied at the start of
+#: given rounds of an episode.  Two JSON-able event forms:
+#:
+#: * **Interval events** — ``{"from": d, "until": u, "set": [[sender,
+#:   receiver, prr], ...]}``: the overrides apply from round ``d``
+#:   (inclusive) to ``u`` (exclusive).  When an interval expires, each
+#:   of its links is restored to the base quality *unless another
+#:   interval still covers it* (that interval's value is re-asserted),
+#:   so concatenated outage schedules with overlapping spans and
+#:   shared links compose correctly.  :func:`node_outage_schedule`
+#:   emits this form.
+#: * **Point events** — ``{"round": r, ...}`` with any of a ``"set"``
+#:   list of ``[sender, receiver, prr]`` overrides, a ``"restore"``
+#:   list of ``[sender, receiver]`` pairs dropping exactly those
+#:   overrides, or ``"clear": True`` (drops *every* override — use
+#:   only for whole-episode resets).  Raw tools without the interval
+#:   form's coverage bookkeeping.
+#:
+#: Mutations go through
+#: :meth:`~repro.net.link.LinkModel.set_link_quality` (symmetric), and
+#: schedules survive the parallel runner's process boundary and
+#: content-hash cache by construction.
+ChurnSchedule = Sequence[Mapping]
+
+
+def node_outage_schedule(
+    topology: Topology, node: int, down_round: int, up_round: int
+) -> List[Dict]:
+    """Churn schedule taking one node off the air for a span of rounds.
+
+    Severs every link touching ``node`` (PRR 0 in both directions) at
+    the start of ``down_round`` and restores the base link qualities at
+    the start of ``up_round`` — the trace-collection counterpart of the
+    evaluation-side :class:`~repro.experiments.scenarios.NodeChurnScenario`,
+    so DQN training episodes can include the mid-episode topology
+    changes the ROADMAP asks for.
+    """
+    if node == topology.coordinator:
+        raise ValueError("the coordinator cannot be churned out")
+    if not 0 <= down_round < up_round:
+        raise ValueError("require 0 <= down_round < up_round")
+    others = [other for other in topology.node_ids if other != node]
+    # One interval event: on expiry only this node's links are
+    # restored, and links shared with another still-active outage stay
+    # severed — concatenated schedules compose correctly.
+    return [
+        {
+            "from": int(down_round),
+            "until": int(up_round),
+            "set": [[int(node), int(other), 0.0] for other in others],
+        },
+    ]
+
+
+def _interval_covers(event: Mapping, round_index: int) -> bool:
+    """Whether an interval event's override span includes ``round_index``."""
+    return (
+        "from" in event
+        and int(event["from"]) <= round_index < int(event.get("until", round_index + 1))
+    )
+
+
+def apply_churn_events(link_model, churn: ChurnSchedule, round_in_episode: int) -> None:
+    """Apply every churn event scheduled for ``round_in_episode``.
+
+    Interval expirations run first: each expired link is restored to
+    its base quality unless another interval still covers it, in which
+    case that interval's override is re-asserted — so overlapping
+    outages never clobber each other, even on the link *between* two
+    churned nodes.  Mutations go through
+    :meth:`~repro.net.link.LinkModel.set_link_quality` /
+    :meth:`~repro.net.link.LinkModel.clear_link_quality_override`, so
+    the cached PRR/failure matrices are invalidated and both engines
+    see the new qualities on their next flood.
+    """
+    def overrides_for(event, sender, receiver):
+        for a, b, prr in event.get("set", ()):
+            if {int(a), int(b)} == {sender, receiver}:
+                yield int(a), int(b), float(prr)
+
+    for event in churn:
+        if "until" not in event or int(event["until"]) != round_in_episode:
+            continue
+        for sender, receiver, _ in event.get("set", ()):
+            sender, receiver = int(sender), int(receiver)
+            covering = next(
+                (
+                    other
+                    for other in churn
+                    if other is not event
+                    and _interval_covers(other, round_in_episode)
+                    and any(True for _ in overrides_for(other, sender, receiver))
+                ),
+                None,
+            )
+            if covering is None:
+                link_model.clear_link_quality_override(sender, receiver)
+            else:
+                for a, b, prr in overrides_for(covering, sender, receiver):
+                    link_model.set_link_quality(a, b, prr)
+    for event in churn:
+        if "from" in event and int(event["from"]) == round_in_episode:
+            for sender, receiver, prr in event.get("set", ()):
+                link_model.set_link_quality(int(sender), int(receiver), float(prr))
+        if int(event.get("round", -1)) != round_in_episode:
+            continue
+        if event.get("clear"):
+            link_model.clear_link_quality_overrides()
+        for sender, receiver in event.get("restore", ()):
+            link_model.clear_link_quality_override(int(sender), int(receiver))
+        for sender, receiver, prr in event.get("set", ()):
+            link_model.set_link_quality(int(sender), int(receiver), float(prr))
 
 #: Default library of training episodes: calm periods, light, mild and
 #: heavy jamming, and transitions between them.  Mirrors the "different
@@ -308,6 +421,7 @@ def record_episode_for_n_tx(
     round_period_s: float,
     episode_seed: int,
     interference_seed: int,
+    churn: ChurnSchedule = (),
 ) -> List[Dict]:
     """Run one episode with a fixed ``N_TX`` and return per-round payloads.
 
@@ -330,6 +444,7 @@ def record_episode_for_n_tx(
         ),
     )
     records: List[Dict] = []
+    round_in_episode = 0
     for segment_rounds, ratio in episode:
         simulator.set_interference(
             build_interference(
@@ -337,6 +452,11 @@ def record_episode_for_n_tx(
             )
         )
         for _ in range(int(segment_rounds)):
+            # Churn events mutate link qualities mid-episode; every
+            # lock-stepped simulator of the decision point applies the
+            # same schedule, so the N_TX alternatives stay comparable.
+            apply_churn_events(simulator.link_model, churn, round_in_episode)
+            round_in_episode += 1
             result = simulator.run_round(n_tx=n_tx)
             # Record what the coordinator would have seen (feedback
             # headers plus pessimistic fill-ins), so offline training
@@ -393,6 +513,7 @@ class TraceRecorder:
         round_period_s: float = 4.0,
         seed: int = 0,
         topology_spec: Optional[Dict] = None,
+        churn: ChurnSchedule = (),
     ) -> None:
         if n_max <= 0:
             raise ValueError("n_max must be positive")
@@ -404,6 +525,11 @@ class TraceRecorder:
         self.ambient_rate = ambient_rate
         self.round_period_s = round_period_s
         self.seed = seed
+        #: Churn schedule applied to every recorded episode (see
+        #: :data:`ChurnSchedule`); every lock-stepped simulator of a
+        #: decision point replays the same link mutations, so the
+        #: recorded alternatives stay comparable.
+        self.churn: List[Dict] = [dict(event) for event in churn]
 
     def _episode_payloads(
         self,
@@ -428,6 +554,7 @@ class TraceRecorder:
                     self.round_period_s,
                     episode_seed=self.seed + 101 * repetition + episode_index,
                     interference_seed=self.seed + episode_index,
+                    churn=self.churn,
                 )
                 for repetition, episode_index, spec, n_tx in jobs
             }
@@ -438,22 +565,30 @@ class TraceRecorder:
             )
         from repro.experiments.runner import ScenarioTask
 
-        tasks = [
-            ScenarioTask(
-                experiment="trace_episode",
-                params={
-                    "topology": self.topology_spec,
-                    "n_tx": n_tx,
-                    "episode": [[int(rounds), float(ratio)] for rounds, ratio in spec],
-                    "ambient_rate": self.ambient_rate,
-                    "round_period_s": self.round_period_s,
-                    "interference_seed": self.seed + episode_index,
-                },
-                seed=self.seed + 101 * repetition + episode_index,
-                label=f"trace[rep{repetition}/ep{episode_index}/ntx{n_tx}]",
+        tasks = []
+        for repetition, episode_index, spec, n_tx in jobs:
+            params = {
+                "topology": self.topology_spec,
+                "n_tx": n_tx,
+                "episode": [[int(rounds), float(ratio)] for rounds, ratio in spec],
+                "ambient_rate": self.ambient_rate,
+                "round_period_s": self.round_period_s,
+                "interference_seed": self.seed + episode_index,
+            }
+            if self.churn:
+                # Only churn-enabled recordings extend the task params,
+                # so every pre-existing cached trace shard keeps its
+                # content-hash key (mirrors the trace-file key guard in
+                # TrainingPipeline).
+                params["churn"] = self.churn
+            tasks.append(
+                ScenarioTask(
+                    experiment="trace_episode",
+                    params=params,
+                    seed=self.seed + 101 * repetition + episode_index,
+                    label=f"trace[rep{repetition}/ep{episode_index}/ntx{n_tx}]",
+                )
             )
-            for repetition, episode_index, spec, n_tx in jobs
-        ]
         results = runner.run(tasks)
         return {
             (repetition, episode_index, n_tx): result["records"]

@@ -1,0 +1,135 @@
+"""Regression tests for the ``repro-bench`` CLI output/failure contract.
+
+Every subcommand must print the path of its JSON results artifact, and
+a grid with failed shards must exit nonzero with the shards listed in
+the artifact — instead of failures being silently absorbed by the
+result cache (the cache never stores failures; see
+``tests/test_runner.py::TestFailedShards`` for the runner-level
+guarantee).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.runner import EXPERIMENTS
+
+
+@pytest.fixture()
+def broken_mobile_jammer(monkeypatch):
+    """Make every mobile-jammer shard crash inside the worker."""
+
+    def boom(seed=0, **params):
+        raise RuntimeError("shard exploded")
+
+    monkeypatch.setitem(EXPERIMENTS, "mobile_jammer_run", boom)
+
+
+def run_scenarios(tmp_path, extra=()):
+    output = tmp_path / "out.json"
+    code = bench.main(
+        [
+            "scenarios",
+            "--family",
+            "mobile_jammer",
+            "--protocols",
+            "lwb",
+            "--runs",
+            "1",
+            "--rounds",
+            "2",
+            "--workers",
+            "1",
+            "--no-cache",
+            "--output",
+            str(output),
+            *extra,
+        ]
+    )
+    return code, output
+
+
+class TestBenchOutputContract:
+    def test_success_prints_artifact_and_exits_zero(self, tmp_path, capsys):
+        code, output = run_scenarios(tmp_path)
+        assert code == 0
+        assert f"[output] {output}" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["command"] == "scenarios"
+        assert payload["failed_shards"] == []
+        assert payload["protocols"]["lwb"]["runs"] == 1
+        assert payload["runner_stats"]["executed"] == 1
+
+    def test_failed_shards_exit_nonzero(self, tmp_path, capsys, broken_mobile_jammer):
+        code, output = run_scenarios(tmp_path)
+        assert code != 0
+        captured = capsys.readouterr()
+        assert f"[output] {output}" in captured.out
+        assert "failed shard" in captured.err
+        payload = json.loads(output.read_text())
+        assert len(payload["failed_shards"]) == 1
+        assert payload["failed_shards"][0]["task"] == "mobile_jammer:lwb#0"
+        assert "RuntimeError" in payload["failed_shards"][0]["error"]
+        # No aggregate row for the all-failed protocol.
+        assert payload["protocols"] == {}
+
+    def test_engine_flag_reaches_the_simulators(self, tmp_path, monkeypatch):
+        """The flag must arrive at the worker experiment as its
+        ``engine`` kwarg, not just be echoed into the artifact."""
+        seen = []
+        original = EXPERIMENTS["mobile_jammer_run"]
+
+        def spy(seed=0, **params):
+            seen.append(params.get("engine"))
+            return original(seed=seed, **params)
+
+        monkeypatch.setitem(EXPERIMENTS, "mobile_jammer_run", spy)
+        code, output = run_scenarios(tmp_path, extra=["--engine", "vectorized-log"])
+        assert code == 0
+        assert seen == ["vectorized-log"]
+        payload = json.loads(output.read_text())
+        assert payload["engine"] == "vectorized-log"
+        assert payload["protocols"]["lwb"]["reliability"] >= 0.0
+
+    def test_failure_not_served_from_cache_on_rerun(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A failed shard re-executes (and succeeds) on the next run."""
+        cache_dir = tmp_path / "cache"
+
+        def run(extra):
+            return bench.main(
+                [
+                    "scenarios",
+                    "--family",
+                    "mobile_jammer",
+                    "--protocols",
+                    "lwb",
+                    "--runs",
+                    "1",
+                    "--rounds",
+                    "2",
+                    "--workers",
+                    "1",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--output",
+                    str(tmp_path / "out.json"),
+                    *extra,
+                ]
+            )
+
+        original = EXPERIMENTS["mobile_jammer_run"]
+
+        def boom(seed=0, **params):
+            raise RuntimeError("transient failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "mobile_jammer_run", boom)
+        assert run([]) != 0
+        monkeypatch.setitem(EXPERIMENTS, "mobile_jammer_run", original)
+        assert run([]) == 0
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["failed_shards"] == []
+        # The healthy rerun executed the shard (no poisoned cache hit).
+        assert payload["runner_stats"]["executed"] == 1

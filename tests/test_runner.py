@@ -286,3 +286,51 @@ class TestScenarioFamilies:
         scenario = NodeChurnScenario(topology=topology, churn_rate=0.5, seed=1)
         counts = {len(scenario.active_sources(r)) for r in range(40)}
         assert min(counts) < topology.num_nodes  # some nodes go down
+
+
+class TestFailedShards:
+    """Failures must never be absorbed by the cache, and grids can
+    complete around failed shards when asked to collect errors."""
+
+    def test_cached_failure_entry_is_a_miss(self, tmp_path):
+        import json
+
+        from repro.experiments.runner import FAILURE_KEY
+
+        task = echo_tasks(1)[0]
+        poisoned = tmp_path / f"{task.key()}.json"
+        poisoned.write_text(
+            json.dumps({FAILURE_KEY: True, "task": "old-run", "error": "boom"})
+        )
+        runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        results = runner.run([task])
+        # The poisoned entry was ignored and the task recomputed ...
+        assert results[0]["value"] == 0.0
+        assert FAILURE_KEY not in results[0]
+        assert runner.stats.cache_misses == 1
+        # ... and the cache now holds the real result.
+        assert json.loads(poisoned.read_text())["value"] == 0.0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_collect_errors_completes_the_grid(self, tmp_path, workers):
+        from repro.experiments.runner import FAILURE_KEY
+
+        tasks = [
+            echo_tasks(1)[0],
+            ScenarioTask("test_boom", label="shard-down"),
+            echo_tasks(2)[1],
+        ]
+        runner = ParallelRunner(max_workers=workers, cache_dir=tmp_path)
+        results = runner.run(tasks, collect_errors=True)
+        assert results[0]["value"] == 0.0
+        assert results[2]["value"] == 1.0
+        assert results[1][FAILURE_KEY] is True
+        assert results[1]["task"] == "shard-down"
+        assert "RuntimeError" in results[1]["error"]
+        # The failure was not cached: only the two successes are on disk.
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_default_mode_still_raises(self):
+        runner = ParallelRunner(max_workers=1)
+        with pytest.raises(RunnerError):
+            runner.run([ScenarioTask("test_boom")])

@@ -84,3 +84,95 @@ class TestPretrainedArtifact:
                 data_dir=tmp_path,
                 allow_training=False,
             )
+
+
+class TestChurnTrainingEpisodes:
+    """DQN training episodes can include node-churn conditions: the
+    churn schedule mutates link qualities mid-episode and the recorded
+    traces (the replay source) change accordingly."""
+
+    @pytest.fixture()
+    def churn_setup(self, tmp_path):
+        from repro.rl.trace_env import node_outage_schedule
+
+        topology = grid_topology(
+            rows=2, cols=3, spacing_m=6.0, comm_range_m=9.0, name="tiny-churn"
+        )
+        victim = next(
+            node for node in topology.node_ids if node != topology.coordinator
+        )
+        churn = node_outage_schedule(topology, victim, down_round=1, up_round=3)
+
+        def pipeline(schedule):
+            return TrainingPipeline(
+                topology=topology,
+                feature_config=FeatureConfig(num_input_nodes=4, history_size=1, n_max=2),
+                profile=TrainingProfile(
+                    "churn-test", trace_repetitions=1, training_iterations=60, anneal_steps=30
+                ),
+                episodes=(((4, 0.0),),),
+                data_dir=tmp_path,
+                seed=0,
+                churn=schedule,
+            )
+
+        return pipeline, churn, victim
+
+    def test_churn_changes_replay_contents(self, churn_setup):
+        import numpy as np
+
+        pipeline, churn, victim = churn_setup
+        baseline = pipeline(()).collect_traces()
+        churned = pipeline(churn).collect_traces()
+        # Distinct cache keys: the churn schedule is part of the trace key.
+        assert pipeline(()).trace_path() != pipeline(churn).trace_path()
+        assert len(baseline) == len(churned)
+        differs = any(
+            not np.array_equal(a.reliability_array, b.reliability_array)
+            or not np.array_equal(a.radio_on_array, b.radio_on_array)
+            for a, b in zip(baseline.records, churned.records)
+        )
+        assert differs, "churn episode did not change the recorded traces"
+        # While the victim is down, a churned round reports it unreachable
+        # somewhere in the trace (reliability 0 from the observer's view).
+        assert any(
+            record.reliability_array.min() == 0.0 for record in churned.records
+        )
+
+    def test_short_training_run_on_churn_episode_completes(self, churn_setup):
+        pipeline, churn, _ = churn_setup
+        agent, trace = pipeline(churn).train()
+        assert len(trace) == 4 * 3  # 4 rounds x (n_max + 1) parameters
+        assert len(agent.buffer) > 0
+        assert agent.total_steps > 0
+
+    def test_composed_outage_schedules_do_not_clobber_each_other(self):
+        """Concatenated outage schedules compose: B's outage survives
+        A's restoration, including on the link *between* A and B."""
+        from repro.net.link import LinkModel
+        from repro.net.topology import grid_topology as grid
+        from repro.rl.trace_env import apply_churn_events, node_outage_schedule
+
+        topology = grid(rows=2, cols=3, spacing_m=6.0, comm_range_m=9.0)
+        nodes = [n for n in topology.node_ids if n != topology.coordinator]
+        a, b, probe = nodes[0], nodes[1], nodes[-1]
+        churn = node_outage_schedule(topology, a, 1, 5) + node_outage_schedule(
+            topology, b, 3, 8
+        )
+        link = LinkModel(topology, seed=1)
+        base_a, base_b = link.prr(a, probe), link.prr(b, probe)
+        base_ab = link.prr(a, b)
+        assert base_a > 0.0 and base_b > 0.0
+        for round_index in range(6):
+            apply_churn_events(link, churn, round_index)
+        # After round 5 (A restored), B is still fully down: its links
+        # to the probe AND the shared (a, b) link stay severed.
+        assert link.prr(a, probe) == base_a
+        assert link.prr(b, probe) == 0.0
+        assert link.prr(a, b) == 0.0
+        assert link.prr(b, a) == 0.0
+        for round_index in range(6, 9):
+            apply_churn_events(link, churn, round_index)
+        # ... and B's restoration brings everything back.
+        assert link.prr(b, probe) == base_b
+        assert link.prr(a, b) == base_ab
