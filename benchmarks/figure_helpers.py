@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.api import Session
 from repro.experiments.runner import ParallelRunner
 
 #: Compression of the paper's 27-minute timeline used by the Fig. 4c/4d
@@ -26,6 +27,15 @@ def benchmark_runner() -> ParallelRunner:
         max_workers=int(workers) if workers else None,
         cache_dir=Path(cache) if cache else None,
     )
+
+
+def benchmark_session(network=None) -> Session:
+    """A :class:`~repro.api.Session` over the benchmark runner.
+
+    Same environment knobs as :func:`benchmark_runner`; ``network`` is
+    injected into Dimmer specs that leave their policy unset.
+    """
+    return Session(runner=benchmark_runner(), network=network)
 
 
 def segment_rows(result, scale: float):

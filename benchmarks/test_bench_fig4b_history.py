@@ -6,9 +6,8 @@ historical features helps distinguish transient from persistent
 interference; beyond a couple of entries the benefit saturates.
 """
 
-from figure_helpers import benchmark_runner
+from figure_helpers import benchmark_session
 
-from repro.experiments.feature_selection import run_feature_sweep_parallel
 from repro.experiments.reporting import format_table
 from repro.experiments.training import TrainingProfile, default_data_dir
 
@@ -21,10 +20,10 @@ BENCH_PROFILE = TrainingProfile(
 
 
 def test_fig4b_history_size(benchmark):
-    # One training+evaluation worker task per M value (see the K sweep).
+    # One FeatureSweepSpec worker task per M value (see the K sweep).
     result = benchmark.pedantic(
-        run_feature_sweep_parallel,
-        args=(benchmark_runner(), "history"),
+        benchmark_session().feature_sweep,
+        args=("history",),
         kwargs={
             "values": M_VALUES,
             "models_per_value": 1,

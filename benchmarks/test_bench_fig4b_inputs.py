@@ -11,9 +11,8 @@ leads to conservative, energy-hungry policies; K around 10 minimizes
 radio-on time at a small network size).
 """
 
-from figure_helpers import benchmark_runner
+from figure_helpers import benchmark_session
 
-from repro.experiments.feature_selection import run_feature_sweep_parallel
 from repro.experiments.reporting import format_table
 from repro.experiments.training import TrainingProfile, default_data_dir
 
@@ -26,11 +25,12 @@ BENCH_PROFILE = TrainingProfile(
 
 
 def test_fig4b_input_nodes(benchmark):
-    # One training+evaluation worker task per K value, fanned out by the
-    # parallel runner (seeds match the serial sweep_input_nodes).
+    # One FeatureSweepSpec training+evaluation worker task per K value,
+    # fanned out by the session (seeds match the serial
+    # sweep_input_nodes).
     result = benchmark.pedantic(
-        run_feature_sweep_parallel,
-        args=(benchmark_runner(), "input_nodes"),
+        benchmark_session().feature_sweep,
+        args=("input_nodes",),
         kwargs={
             "values": K_VALUES,
             "models_per_value": 1,

@@ -9,9 +9,8 @@ static LWB at high ratios.
 """
 
 import pytest
-from figure_helpers import benchmark_runner
+from figure_helpers import benchmark_session
 
-from repro.experiments.interference_sweep import run_interference_sweep_parallel
 from repro.experiments.reporting import format_table
 
 RATIOS = (0.0, 0.05, 0.15, 0.25, 0.35)
@@ -25,12 +24,11 @@ _SWEEP_CACHE = {}
 def get_sweep(network):
     key = id(network)
     if key not in _SWEEP_CACHE:
-        # Every (protocol, ratio, run) triple is one worker task; the
-        # per-task seeds match the serial ``run_interference_sweep``, so
-        # the fanned-out sweep reproduces the serial figures exactly.
-        _SWEEP_CACHE[key] = run_interference_sweep_parallel(
-            benchmark_runner(),
-            network=network,
+        # Every (protocol, ratio, run) triple is one SweepSpec worker
+        # task; the per-task seeds match the serial
+        # ``run_interference_sweep``, so the fanned-out sweep reproduces
+        # the serial figures exactly.
+        _SWEEP_CACHE[key] = benchmark_session(network).sweep(
             ratios=RATIOS,
             rounds_per_run=ROUNDS_PER_RUN,
             runs=RUNS,

@@ -8,9 +8,8 @@ collapses under WiFi (93.6 % and 27 %), Dimmer stays high (100 / 98.3 /
 95.8 %) and approaches Crystal (100 / 100 / 99 %).
 """
 
-from figure_helpers import benchmark_runner
+from figure_helpers import benchmark_session
 
-from repro.experiments.dcube import run_dcube_comparison_parallel
 from repro.experiments.reporting import format_table
 
 NUM_ROUNDS = 150
@@ -22,13 +21,11 @@ _COMPARISON_CACHE = {}
 def get_comparison(network):
     key = id(network)
     if key not in _COMPARISON_CACHE:
-        # One worker task per (protocol, WiFi-level) grid point on the
-        # 48-node D-Cube deployment (workers rebuild it from the
-        # default topology spec); results equal the serial
+        # One DCubeSpec worker task per (protocol, WiFi-level) grid
+        # point on the 48-node D-Cube deployment (workers rebuild it
+        # from the default topology spec); results equal the serial
         # ``run_dcube_comparison`` for the same seed.
-        _COMPARISON_CACHE[key] = run_dcube_comparison_parallel(
-            benchmark_runner(),
-            network=network,
+        _COMPARISON_CACHE[key] = benchmark_session(network).dcube(
             num_rounds=NUM_ROUNDS,
             num_sources=5,
             seed=5,

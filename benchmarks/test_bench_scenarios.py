@@ -18,12 +18,14 @@ are removed from the schedule.
 import json
 from pathlib import Path
 
-from figure_helpers import benchmark_runner
+from figure_helpers import benchmark_session
 
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ScenarioTask, network_payload, stable_seed
+from repro.experiments.runner import network_payload, stable_seed
+from repro.experiments.spec import UNSET, MobileJammerSpec, NodeChurnSpec
 
 FAMILIES = ("mobile_jammer", "node_churn")
+SPEC_TYPES = {"mobile_jammer": MobileJammerSpec, "node_churn": NodeChurnSpec}
 PROTOCOLS = ("lwb", "dimmer", "pid")
 ROUNDS = 30
 RUNS = 2
@@ -33,24 +35,22 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
 
 
 def run_scenario_grid(network):
-    runner = benchmark_runner()
+    session = benchmark_session()
     payload = network_payload(network)
-    tasks = []
+    specs = []
     for family in FAMILIES:
         for protocol in PROTOCOLS:
             for run_index in range(RUNS):
-                params = {"protocol": protocol, "rounds": ROUNDS}
-                if protocol == "dimmer":
-                    params["network"] = payload
-                tasks.append(
-                    ScenarioTask(
-                        experiment=f"{family}_run",
-                        params=params,
+                specs.append(
+                    SPEC_TYPES[family](
+                        protocol=protocol,
+                        rounds=ROUNDS,
+                        network=payload if protocol == "dimmer" else UNSET,
                         seed=stable_seed(SEED, family, protocol, run_index),
                         label=f"{family}:{protocol}#{run_index}",
                     )
                 )
-    flat = runner.run(tasks)
+    flat = session.run_entries(specs)
     grid = {}
     cursor = 0
     for family in FAMILIES:

@@ -14,26 +14,22 @@ Run with::
 
 import sys
 
-from repro.experiments.dcube import run_dcube_comparison
+from repro.api import Session
 from repro.experiments.reporting import format_table
 from repro.experiments.training import load_pretrained_agent
-from repro.net.topology import dcube_testbed
 
 
 def main(num_rounds: int = 120) -> None:
     agent = load_pretrained_agent()
-    topology = dcube_testbed()
     print(
-        f"running LWB / Dimmer / Crystal on {topology.num_nodes} nodes, "
+        f"running LWB / Dimmer / Crystal on the 48-node deployment, "
         f"{num_rounds} one-second rounds per scenario ..."
     )
-    comparison = run_dcube_comparison(
-        network=agent.online,
-        topology=topology,
-        num_rounds=num_rounds,
-        num_sources=5,
-        seed=5,
-    )
+    # One DCubeSpec worker task per (protocol, WiFi-level) grid point;
+    # the workers rebuild the deployment from the default topology spec
+    # and the results equal the serial run_dcube_comparison.
+    session = Session(network=agent.online)
+    comparison = session.dcube(num_rounds=num_rounds, num_sources=5, seed=5)
 
     level_names = {0: "no interference", 1: "WiFi level 1", 2: "WiFi level 2"}
     reliability_rows = []

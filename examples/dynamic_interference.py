@@ -17,20 +17,20 @@ about 100 rounds per protocol).
 
 import sys
 
-from repro.experiments.dynamic import run_dynamic_comparison
+from repro.api import Session
 from repro.experiments.reporting import format_table
 from repro.experiments.training import load_pretrained_agent
-from repro.net.topology import kiel_testbed
 
 
 def main(time_scale: float = 0.25) -> None:
     agent = load_pretrained_agent()
-    topology = kiel_testbed()
 
     print(f"running the SV-C timeline at time scale {time_scale} ...")
-    comparison = run_dynamic_comparison(
-        network=agent.online, topology=topology, time_scale=time_scale, seed=1
-    )
+    # The two protocol timelines run as independent DynamicSpec worker
+    # tasks; for a given seed the results match the serial
+    # run_dynamic_comparison exactly.
+    session = Session(network=agent.online)
+    comparison = session.dynamic_comparison(time_scale=time_scale, seed=1)
 
     minutes = 60.0 * time_scale
     segments = [

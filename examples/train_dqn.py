@@ -18,6 +18,7 @@ full 200 000-iteration budget of the paper.
 import sys
 import time
 
+from repro.api import Session
 from repro.experiments.training import TrainingPipeline, TrainingProfile
 from repro.rl.trace_env import SimulationEnvironment
 
@@ -32,14 +33,17 @@ def main(profile_name: str = "fast") -> None:
         raise SystemExit(f"unknown profile {profile_name!r}; choose from {sorted(profiles)}")
     profile = profiles[profile_name]
 
-    pipeline = TrainingPipeline(profile=profile, seed=0)
+    # topology_spec lets the trace collection fan its lock-stepped
+    # simulators out across the session's worker processes.
+    pipeline = TrainingPipeline(profile=profile, seed=0, topology_spec={"kind": "kiel"})
+    session = Session()
     print(f"profile            : {profile.name}")
     print(f"trace repetitions  : {profile.trace_repetitions}")
     print(f"training iterations: {profile.training_iterations}")
 
     start = time.time()
     print("collecting traces (lock-stepped simulators, one per N_TX value) ...")
-    trace = pipeline.collect_traces()
+    trace = pipeline.collect_traces(runner=session.runner)
     print(f"  {len(trace)} trace records in {time.time() - start:.0f}s")
 
     start = time.time()

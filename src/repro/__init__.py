@@ -16,9 +16,13 @@ The package is organised in layers:
 * :mod:`repro.baselines` — static LWB, the PI(D) controller and the
   Crystal-like dependable collection protocol the paper compares against.
 * :mod:`repro.experiments` — scenario scripting, metrics, and one entry
-  point per table/figure of the paper's evaluation.
+  point per table/figure of the paper's evaluation, plus the
+  declarative :mod:`~repro.experiments.spec` layer (frozen, JSON
+  round-trippable experiment descriptions).
+* :mod:`repro.api` — the :class:`~repro.api.Session` facade: runs spec
+  grids through the parallel runner with cached, typed results.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -20,6 +20,9 @@ One module per element of the paper's evaluation (§V):
 * :mod:`repro.experiments.runner` — the parallel experiment runner
   fanning scenario x seed grids across worker processes, with
   deterministic seeding and an on-disk result cache.
+* :mod:`repro.experiments.spec` — declarative, JSON round-trippable
+  experiment specs (one frozen dataclass per family) executed through
+  the :class:`repro.api.Session` facade.
 * :mod:`repro.experiments.reporting` — plain-text table/series printers
   used by the benchmark harness.
 """
@@ -44,6 +47,20 @@ from repro.experiments.scenarios import (
     jamming_interference,
     paper_dynamic_scenario,
 )
+from repro.experiments.spec import (
+    SPEC_FAMILIES,
+    UNSET,
+    DCubeSpec,
+    DynamicSpec,
+    ExperimentSpec,
+    FeatureSweepSpec,
+    MobileJammerSpec,
+    NodeChurnSpec,
+    SweepSpec,
+    TraceEpisodeSpec,
+    register_spec,
+    spec_from_payload,
+)
 from repro.experiments.training import TrainingPipeline, TrainingProfile, load_pretrained_agent
 
 __all__ = [
@@ -55,6 +72,18 @@ __all__ = [
     "ScenarioTask",
     "register_experiment",
     "stable_seed",
+    "SPEC_FAMILIES",
+    "UNSET",
+    "ExperimentSpec",
+    "SweepSpec",
+    "DynamicSpec",
+    "DCubeSpec",
+    "FeatureSweepSpec",
+    "TraceEpisodeSpec",
+    "MobileJammerSpec",
+    "NodeChurnSpec",
+    "register_spec",
+    "spec_from_payload",
     "DynamicInterferenceScenario",
     "MobileJammerScenario",
     "NodeChurnScenario",

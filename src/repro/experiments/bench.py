@@ -1,9 +1,10 @@
 """``repro-bench`` — cached, parallel grid runs from the command line.
 
-Console-script front end for the figure harnesses: every grid fans out
-through :class:`~repro.experiments.runner.ParallelRunner` with an
-on-disk result cache, so re-running a sweep after editing one grid
-point only recomputes the changed tasks.
+Console-script front end for the figure harnesses.  Every subcommand
+builds declarative :mod:`~repro.experiments.spec` grids and executes
+them through a :class:`~repro.api.Session` (worker fan-out + on-disk
+content-hash result cache), so re-running a sweep after editing one
+grid point only recomputes the changed tasks.
 
 Examples
 --------
@@ -13,6 +14,14 @@ Examples
     repro-bench dcube --rounds 150
     repro-bench features --dimension input_nodes --values 1 5 10 18
     repro-bench scenarios --family mobile_jammer --protocols lwb dimmer pid
+    repro-bench run --spec my_experiment.json
+
+The ``run`` subcommand executes *any* registered spec family from a
+JSON file — a single spec object, a list of them, or ``{"specs":
+[...]}``; a spec may carry a ``"grid"`` entry that cross-products
+fields (``{"family": "sweep", ..., "grid": {"ratios": [0.0, 0.15],
+"seeds": [0, 1]}}``).  Dimmer specs that leave ``network`` unset get
+the shipped pretrained policy injected by the session.
 """
 
 from __future__ import annotations
@@ -22,23 +31,20 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.api import DEFAULT_CACHE_DIR, Session
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import (
-    FAILURE_KEY,
-    ParallelRunner,
-    RunnerError,
-    ScenarioTask,
-    stable_seed,
-)
-from repro.net.trace import atomic_write_json
-
-#: Default on-disk cache for grid results (content-hash keyed).
-DEFAULT_CACHE_DIR = Path(".repro_bench_cache")
+from repro.experiments.runner import FAILURE_KEY, RunnerError
+from repro.experiments.spec import load_specs
 
 
-def _runner(args: argparse.Namespace) -> ParallelRunner:
+def _session(args: argparse.Namespace, network: Any = None) -> Session:
     cache_dir = None if args.no_cache else Path(args.cache_dir)
-    return ParallelRunner(max_workers=args.workers, cache_dir=cache_dir)
+    return Session(
+        max_workers=args.workers,
+        cache_dir=cache_dir,
+        engine=getattr(args, "session_engine", None),
+        network=network,
+    )
 
 
 def _load_network():
@@ -47,8 +53,8 @@ def _load_network():
     return load_pretrained_agent(allow_training=False).online
 
 
-def _print_stats(runner: ParallelRunner) -> None:
-    stats = runner.stats
+def _print_stats(session: Session) -> None:
+    stats = session.stats
     print(
         f"[runner] executed={stats.executed} "
         f"cache_hits={stats.cache_hits} cache_misses={stats.cache_misses}"
@@ -59,7 +65,7 @@ def _emit_output(
     args: argparse.Namespace,
     command: str,
     payload: Dict[str, Any],
-    runner: ParallelRunner,
+    session: Session,
     failed_shards: Sequence[Dict[str, Any]] = (),
 ) -> int:
     """Write the run's JSON artifact, print its path, return the exit code.
@@ -71,16 +77,7 @@ def _emit_output(
     failures, so a re-run recomputes exactly the failed points.
     """
     path = Path(args.output) if args.output else Path(f"repro_bench_{command}.json")
-    stats = runner.stats
-    payload = dict(payload)
-    payload["command"] = command
-    payload["runner_stats"] = {
-        "executed": stats.executed,
-        "cache_hits": stats.cache_hits,
-        "cache_misses": stats.cache_misses,
-    }
-    payload["failed_shards"] = list(failed_shards)
-    atomic_write_json(path, payload)
+    session.write_artifact(path, command, payload, failed_shards)
     print(f"[output] {path}")
     if failed_shards:
         print(
@@ -98,20 +95,16 @@ def _runner_failure(error: RunnerError) -> List[Dict[str, Any]]:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Fig. 5: protocol x interference-ratio sweep."""
-    from repro.experiments.interference_sweep import run_interference_sweep_parallel
-
-    runner = _runner(args)
+    session = _session(args, network=_load_network())
     try:
-        sweep = run_interference_sweep_parallel(
-            runner,
-            network=_load_network(),
+        sweep = session.sweep(
             ratios=tuple(args.ratios),
             rounds_per_run=args.rounds,
             runs=args.runs,
             seed=args.seed,
         )
     except RunnerError as error:
-        return _emit_output(args, "sweep", {}, runner, _runner_failure(error))
+        return _emit_output(args, "sweep", {}, session, _runner_failure(error))
     rows = []
     points: Dict[str, Dict[str, Any]] = {}
     for ratio in sweep.ratios():
@@ -128,25 +121,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         title="Fig. 5: reliability / radio-on per interference ratio",
     ))
-    _print_stats(runner)
-    return _emit_output(args, "sweep", {"points": points}, runner)
+    _print_stats(session)
+    return _emit_output(args, "sweep", {"points": points}, session)
 
 
 def cmd_dcube(args: argparse.Namespace) -> int:
     """Fig. 7: D-Cube comparison grid."""
-    from repro.experiments.dcube import run_dcube_comparison_parallel
-
-    runner = _runner(args)
+    session = _session(args, network=_load_network())
     try:
-        comparison = run_dcube_comparison_parallel(
-            runner,
-            network=_load_network(),
+        comparison = session.dcube(
             num_rounds=args.rounds,
             num_sources=args.sources,
             seed=args.seed,
         )
     except RunnerError as error:
-        return _emit_output(args, "dcube", {}, runner, _runner_failure(error))
+        return _emit_output(args, "dcube", {}, session, _runner_failure(error))
     rows = []
     points: Dict[str, Dict[str, Any]] = {}
     for level in comparison.levels():
@@ -164,16 +153,15 @@ def cmd_dcube(args: argparse.Namespace) -> int:
         rows,
         title="Fig. 7: D-Cube reliability / energy",
     ))
-    _print_stats(runner)
-    return _emit_output(args, "dcube", {"points": points}, runner)
+    _print_stats(session)
+    return _emit_output(args, "dcube", {"points": points}, session)
 
 
 def cmd_features(args: argparse.Namespace) -> int:
     """Fig. 4b: DQN feature sweeps (trains one model per value)."""
-    from repro.experiments.feature_selection import run_feature_sweep_parallel
     from repro.experiments.training import TrainingProfile, default_data_dir
 
-    runner = _runner(args)
+    session = _session(args)
     profile = TrainingProfile(
         name="bench",
         trace_repetitions=args.trace_repetitions,
@@ -181,8 +169,7 @@ def cmd_features(args: argparse.Namespace) -> int:
         anneal_steps=max(1, args.iterations // 2),
     )
     try:
-        result = run_feature_sweep_parallel(
-            runner,
+        result = session.feature_sweep(
             args.dimension,
             values=tuple(args.values),
             models_per_value=args.models,
@@ -192,7 +179,7 @@ def cmd_features(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     except RunnerError as error:
-        return _emit_output(args, "features", {}, runner, _runner_failure(error))
+        return _emit_output(args, "features", {}, session, _runner_failure(error))
     rows = [
         [point.value, point.reliability, point.radio_on_ms, point.dqn_size_kb]
         for point in result.points
@@ -202,7 +189,7 @@ def cmd_features(args: argparse.Namespace) -> int:
         rows,
         title=f"Fig. 4b: {args.dimension} sweep",
     ))
-    _print_stats(runner)
+    _print_stats(session)
     return _emit_output(
         args,
         "features",
@@ -218,71 +205,97 @@ def cmd_features(args: argparse.Namespace) -> int:
                 for point in result.points
             ],
         },
-        runner,
+        session,
     )
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """Dimmer vs baselines over the mobile-jammer / node-churn families."""
-    from repro.experiments.runner import network_payload
-
-    runner = _runner(args)
-    experiment = f"{args.family}_run"
-    payload = network_payload(_load_network())
-    tasks: List[ScenarioTask] = []
-    for protocol in args.protocols:
-        for run_index in range(args.runs):
-            params = {
-                "protocol": protocol,
-                "rounds": args.rounds,
-                "engine": args.engine,
-            }
-            if protocol == "dimmer":
-                params["network"] = payload
-            tasks.append(
-                ScenarioTask(
-                    experiment=experiment,
-                    params=params,
-                    seed=stable_seed(args.seed, experiment, protocol, run_index),
-                    label=f"{args.family}:{protocol}#{run_index}",
-                )
-            )
-    results = runner.run(tasks, collect_errors=True)
-    failed = [entry for entry in results if entry.get(FAILURE_KEY)]
+    session = _session(args, network=_load_network())
+    family = session.scenario_family(
+        args.family,
+        protocols=args.protocols,
+        runs=args.runs,
+        rounds=args.rounds,
+        engine=args.engine,
+        seed=args.seed,
+    )
     rows = []
-    summary: Dict[str, Any] = {}
-    cursor = 0
     for protocol in args.protocols:
-        entries = [
-            entry
-            for entry in results[cursor: cursor + args.runs]
-            if not entry.get(FAILURE_KEY)
-        ]
-        cursor += args.runs
-        if not entries:
+        entry = family.protocols.get(protocol)
+        if entry is None:
             rows.append([protocol, "failed", "failed", "failed"])
-            continue
-        reliability = sum(e["reliability"] for e in entries) / len(entries)
-        radio = sum(e["radio_on_ms"] for e in entries) / len(entries)
-        energy = sum(e["energy_j"] for e in entries) / len(entries)
-        rows.append([protocol, reliability, radio, energy])
-        summary[protocol] = {
-            "reliability": reliability,
-            "radio_on_ms": radio,
-            "energy_j": energy,
-            "runs": len(entries),
-        }
+        else:
+            rows.append(
+                [protocol, entry["reliability"], entry["radio_on_ms"], entry["energy_j"]]
+            )
     print(format_table(
         ["protocol", "reliability", "radio-on [ms]", "energy [J]"],
         rows,
         title=f"{args.family} scenario: Dimmer vs baselines",
     ))
-    _print_stats(runner)
+    _print_stats(session)
     return _emit_output(
         args,
         "scenarios",
-        {"family": args.family, "engine": args.engine, "protocols": summary},
-        runner,
+        {"family": args.family, "engine": args.engine, "protocols": family.protocols},
+        session,
+        family.failed,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute any registered spec family from a JSON spec file."""
+    try:
+        specs = load_specs(Path(args.spec))
+    except (OSError, TypeError, ValueError) as error:
+        print(f"[error] {error}", file=sys.stderr)
+        return 2
+    if args.session_engine:
+        from dataclasses import fields as spec_fields
+
+        skipped = sorted({
+            spec.family
+            for spec in specs
+            if "engine" not in {f.name for f in spec_fields(spec)}
+        })
+        if skipped:
+            print(
+                f"[warn] --engine {args.session_engine} has no effect on "
+                f"famil{'ies' if len(skipped) > 1 else 'y'} without an "
+                f"engine field: {', '.join(skipped)}",
+                file=sys.stderr,
+            )
+    needs_network = any(
+        getattr(spec, "protocol", None) == "dimmer" and "network" not in spec.params()
+        for spec in specs
+    )
+    session = _session(args, network=_load_network() if needs_network else None)
+    # Report the *prepared* specs: after session defaults (engine,
+    # network) are injected, so the printed keys and the artifact's
+    # spec payloads match what actually executed and got cached.
+    specs = [session.prepare(spec) for spec in specs]
+    entries = session.run_entries(specs, collect_errors=True)
+    failed = [entry for entry in entries if entry.get(FAILURE_KEY)]
+    rows = []
+    for spec, entry in zip(specs, entries):
+        status = "failed" if entry.get(FAILURE_KEY) else "ok"
+        rows.append([spec.describe(), spec.family, spec.key()[:10], status])
+    print(format_table(
+        ["spec", "family", "key", "status"],
+        rows,
+        title=f"spec file: {args.spec}",
+    ))
+    _print_stats(session)
+    return _emit_output(
+        args,
+        "run",
+        {
+            "spec_file": str(args.spec),
+            "specs": [spec.to_payload() for spec in specs],
+            "results": entries,
+        },
+        session,
         failed,
     )
 
@@ -354,6 +367,25 @@ def build_parser() -> argparse.ArgumentParser:
              "1000+ node topologies",
     )
     scenarios.set_defaults(func=cmd_scenarios)
+
+    run = commands.add_parser(
+        "run",
+        help="execute any registered spec family from a JSON spec file",
+        parents=[common],
+    )
+    run.add_argument(
+        "--spec", required=True,
+        help="JSON file holding a spec object, a list of them, or "
+             "{'specs': [...]}; objects may carry a 'grid' entry for "
+             "cross-product expansion",
+    )
+    run.add_argument(
+        "--engine", dest="session_engine", default=None,
+        choices=("scalar", "vectorized", "vectorized-log"),
+        help="session-wide flood engine applied to specs that leave "
+             "'engine' unset",
+    )
+    run.set_defaults(func=cmd_run)
 
     return parser
 

@@ -320,47 +320,23 @@ def run_dcube_comparison_parallel(
 ) -> DCubeComparison:
     """Run the Fig. 7 grid through a :class:`ParallelRunner`.
 
-    One task per (level, protocol) grid point; identical results to the
-    serial :func:`run_dcube_comparison` for the same ``seed``.
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.dcube`, kept for
+        backwards compatibility; one
+        :class:`~repro.experiments.spec.DCubeSpec` task per (level,
+        protocol) grid point with unchanged cache keys, identical
+        results to the serial :func:`run_dcube_comparison` for the same
+        ``seed``.
     """
-    from repro.experiments.runner import ScenarioTask, network_payload
+    from repro.api import Session
 
-    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "dcube"}
-    payload = network_payload(network) if network is not None else None
-    tasks = []
-    for level in levels:
-        for protocol in protocols:
-            params = {
-                "protocol": protocol,
-                "level": level,
-                "topology": topology_spec,
-                "num_rounds": num_rounds,
-                "num_sources": num_sources,
-                "max_retries": max_retries,
-            }
-            if protocol == "dimmer":
-                if payload is None:
-                    raise ValueError("the Dimmer runs need a trained policy network")
-                params["network"] = payload
-            tasks.append(
-                ScenarioTask(
-                    experiment="dcube_point",
-                    params=params,
-                    seed=seed,
-                    label=f"dcube:{protocol}@L{level}",
-                )
-            )
-    comparison = DCubeComparison()
-    for entry in runner.run(tasks):
-        comparison.results.append(
-            DCubeResult(
-                protocol=entry["protocol"],
-                level=int(entry["level"]),
-                reliability=entry["reliability"],
-                energy_j=entry["energy_j"],
-                average_radio_on_ms=entry["average_radio_on_ms"],
-                packets_generated=int(entry["packets_generated"]),
-                packets_delivered=int(entry["packets_delivered"]),
-            )
-        )
-    return comparison
+    return Session(runner=runner).dcube(
+        network=network,
+        levels=levels,
+        protocols=protocols,
+        topology_spec=topology_spec,
+        num_rounds=num_rounds,
+        num_sources=num_sources,
+        max_retries=max_retries,
+        seed=seed,
+    )

@@ -211,34 +211,19 @@ def run_dynamic_comparison_parallel(
 ) -> DynamicComparison:
     """Run the Fig. 4c vs 4d comparison through a :class:`ParallelRunner`.
 
-    The Dimmer and PID timelines execute as two independent worker
-    tasks; for a given ``seed`` the rebuilt results match the serial
-    :func:`run_dynamic_comparison`.
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.dynamic_comparison`,
+        kept for backwards compatibility; the two protocol timelines run
+        as :class:`~repro.experiments.spec.DynamicSpec` tasks with
+        unchanged cache keys, and for a given ``seed`` the rebuilt
+        results match the serial :func:`run_dynamic_comparison`.
     """
-    from repro.experiments.runner import ScenarioTask, network_payload
+    from repro.api import Session
 
-    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "kiel"}
-    base = {
-        "topology": topology_spec,
-        "time_scale": time_scale,
-        "round_period_s": round_period_s,
-    }
-    tasks = [
-        ScenarioTask(
-            experiment="dynamic_run",
-            params={"protocol": "dimmer", "network": network_payload(network), **base},
-            seed=seed,
-            label="dynamic:dimmer",
-        ),
-        ScenarioTask(
-            experiment="dynamic_run",
-            params={"protocol": "pid", **base},
-            seed=seed,
-            label="dynamic:pid",
-        ),
-    ]
-    dimmer_entry, pid_entry = runner.run(tasks)
-    return DynamicComparison(
-        dimmer=_dynamic_result_from_task(dimmer_entry),
-        pid=_dynamic_result_from_task(pid_entry),
+    return Session(runner=runner).dynamic_comparison(
+        network=network,
+        topology_spec=topology_spec,
+        time_scale=time_scale,
+        round_period_s=round_period_s,
+        seed=seed,
     )

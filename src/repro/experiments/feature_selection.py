@@ -227,86 +227,27 @@ def run_feature_sweep_parallel(
 ) -> FeatureSweepResult:
     """Run one Fig. 4b panel through a :class:`ParallelRunner`.
 
-    Every (value, model) pair becomes one cached, deterministic task
-    executing :func:`train_and_evaluate_point` in a worker; seeds match
-    the serial :func:`_sweep`, so results are identical.  The shared
-    trace set is collected once up front (it does not depend on the
-    swept value), so workers only train and evaluate.
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.feature_sweep`, kept
+        for backwards compatibility.  Every (value, model) pair becomes
+        one cached :class:`~repro.experiments.spec.FeatureSweepSpec`
+        task with unchanged cache keys; seeds match the serial
+        :func:`_sweep`, so results are identical.
     """
-    from repro.experiments.runner import ScenarioTask, build_topology
+    from repro.api import Session
 
-    profile = profile if profile is not None else TrainingProfile.fast()
-    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "kiel"}
-    topology = build_topology(topology_spec)
-
-    if data_dir is not None and values:
-        # Pre-collect the shared traces so the fan-out does not collect
-        # them once per worker (the trace key is independent of the
-        # swept dimension; per-model seeds beyond the first still
-        # collect their own, protected by the atomic trace save).
-        TrainingPipeline(
-            topology=topology,
-            feature_config=feature_config_for(dimension, values[0]),
-            profile=profile,
-            episodes=training_episodes,
-            data_dir=data_dir,
-            seed=seed,
-        ).collect_traces()
-
-    profile_payload = {
-        "name": profile.name,
-        "trace_repetitions": profile.trace_repetitions,
-        "training_iterations": profile.training_iterations,
-        "anneal_steps": profile.anneal_steps,
-    }
-    tasks = []
-    for value in values:
-        for model_index in range(models_per_value):
-            tasks.append(
-                ScenarioTask(
-                    experiment="feature_sweep_point",
-                    params={
-                        "dimension": dimension,
-                        "value": int(value),
-                        "topology": topology_spec,
-                        "profile": profile_payload,
-                        "training_episodes": [
-                            [[int(r), float(x)] for r, x in episode]
-                            for episode in training_episodes
-                        ],
-                        "evaluation_episodes": [
-                            [[int(r), float(x)] for r, x in episode]
-                            for episode in evaluation_episodes
-                        ],
-                        "evaluation_repeats": int(evaluation_repeats),
-                        "data_dir": str(data_dir) if data_dir is not None else None,
-                        "eval_seed": seed + 7 + model_index,
-                    },
-                    seed=seed + 31 * model_index,
-                    label=f"fig4b:{dimension}={value}#{model_index}",
-                )
-            )
-    flat = runner.run(tasks)
-
-    result = FeatureSweepResult(dimension=dimension)
-    cursor = 0
-    for value in values:
-        entries = flat[cursor: cursor + models_per_value]
-        cursor += models_per_value
-        reliabilities = [entry["reliability"] for entry in entries]
-        radio_on = [entry["radio_on_ms"] for entry in entries]
-        result.points.append(
-            FeatureSweepPoint(
-                value=int(value),
-                radio_on_ms=float(np.mean(radio_on)),
-                radio_on_std_ms=float(np.std(radio_on)),
-                reliability=float(np.mean(reliabilities)),
-                reliability_std=float(np.std(reliabilities)),
-                dqn_size_kb=float(entries[-1]["dqn_size_kb"]),
-                models=models_per_value,
-            )
-        )
-    return result
+    return Session(runner=runner).feature_sweep(
+        dimension,
+        values=values,
+        topology_spec=topology_spec,
+        models_per_value=models_per_value,
+        profile=profile,
+        training_episodes=training_episodes,
+        evaluation_episodes=evaluation_episodes,
+        evaluation_repeats=evaluation_repeats,
+        data_dir=data_dir,
+        seed=seed,
+    )
 
 
 def sweep_input_nodes(

@@ -85,6 +85,7 @@ def run_single_sweep_point(
     round_period_s: float,
     seed: int,
     engine: str = "vectorized",
+    reception_kernel: Optional[str] = None,
 ) -> ExperimentMetrics:
     """Run one protocol at one interference ratio (one Fig. 5 grid point)."""
     simulator = NetworkSimulator(
@@ -93,6 +94,8 @@ def run_single_sweep_point(
             round_period_s=round_period_s, channel_hopping=False, seed=seed, engine=engine
         ),
     )
+    if reception_kernel is not None:
+        simulator.engine.flood.reception_kernel = reception_kernel
     simulator.set_interference(jamming_interference(topology, ratio))
     if protocol == "dimmer":
         if network is None:
@@ -186,56 +189,23 @@ def run_interference_sweep_parallel(
 ) -> SweepResult:
     """Run the Fig. 5 sweep through a :class:`ParallelRunner`.
 
-    Every (protocol, ratio, run) triple becomes one cached, deterministic
-    task; results are aggregated exactly like the serial
-    :func:`run_interference_sweep`.  ``topology_spec`` is a JSON-able
-    spec understood by :func:`repro.experiments.runner.build_topology`
-    (default: the 18-node testbed).
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.sweep`, kept for
+        backwards compatibility.  Every (protocol, ratio, run) triple
+        becomes one cached :class:`~repro.experiments.spec.SweepSpec`
+        task with the same content-hash cache key as ever, so existing
+        cache directories stay warm.
     """
-    from repro.experiments.runner import ScenarioTask, network_payload, stable_seed
+    from repro.api import Session
 
-    topology_spec = dict(topology_spec) if topology_spec is not None else {"kind": "kiel"}
-    payload = network_payload(network) if network is not None else None
-
-    tasks = []
-    for protocol in protocols:
-        for ratio in ratios:
-            for run_index in range(runs):
-                params = {
-                    "protocol": protocol,
-                    "ratio": ratio,
-                    "topology": topology_spec,
-                    "rounds": rounds_per_run,
-                    "round_period_s": round_period_s,
-                    "engine": engine,
-                }
-                if protocol == "dimmer":
-                    if payload is None:
-                        raise ValueError("the Dimmer runs need a trained policy network")
-                    params["network"] = payload
-                tasks.append(
-                    ScenarioTask(
-                        experiment="sweep_point",
-                        params=params,
-                        seed=stable_seed(seed, protocol, round(ratio * 100), run_index),
-                        label=f"sweep:{protocol}@{ratio:.2f}#{run_index}",
-                    )
-                )
-    flat = runner.run(tasks)
-
-    result = SweepResult()
-    cursor = 0
-    for protocol in protocols:
-        for ratio in ratios:
-            per_run = [
-                ExperimentMetrics.from_dict(entry) for entry in flat[cursor: cursor + runs]
-            ]
-            cursor += runs
-            result.points.append(
-                SweepPoint(
-                    protocol=protocol,
-                    interference_ratio=ratio,
-                    metrics=aggregate_experiment_metrics(per_run),
-                )
-            )
-    return result
+    return Session(runner=runner).sweep(
+        network=network,
+        ratios=ratios,
+        protocols=protocols,
+        topology_spec=topology_spec,
+        rounds_per_run=rounds_per_run,
+        runs=runs,
+        round_period_s=round_period_s,
+        engine=engine,
+        seed=seed,
+    )

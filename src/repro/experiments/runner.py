@@ -436,6 +436,7 @@ def run_sweep_point(
     rounds: int = 75,
     round_period_s: float = 4.0,
     engine: str = "vectorized",
+    reception_kernel: Optional[str] = None,
     network: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One (protocol, interference-ratio) run of the Fig. 5 sweep."""
@@ -444,7 +445,15 @@ def run_sweep_point(
     topo = build_topology(topology or {"kind": "kiel"})
     net = network_from_payload(network) if network is not None else None
     metrics = run_single_sweep_point(
-        protocol, ratio, net, topo, rounds, round_period_s, seed, engine=engine
+        protocol,
+        ratio,
+        net,
+        topo,
+        rounds,
+        round_period_s,
+        seed,
+        engine=engine,
+        reception_kernel=reception_kernel,
     )
     return metrics.as_dict()
 
@@ -643,6 +652,7 @@ def run_mobile_jammer_task(
     interference_ratio: float = 0.3,
     speed_mps: float = 1.0,
     engine: str = "vectorized",
+    reception_kernel: Optional[str] = None,
     network: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """A protocol under a jammer patrolling across the deployment.
@@ -663,6 +673,8 @@ def run_mobile_jammer_task(
             round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
         ),
     )
+    if reception_kernel is not None:
+        simulator.engine.flood.reception_kernel = reception_kernel
     runner = _scenario_protocol(protocol, simulator, network)
     for _ in range(rounds):
         simulator.set_interference(scenario.interference_at(simulator.time_ms / 1000.0))
@@ -690,6 +702,7 @@ def run_node_churn_task(
     min_outage_rounds: int = 3,
     max_outage_rounds: int = 8,
     engine: str = "vectorized",
+    reception_kernel: Optional[str] = None,
     network: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """A protocol while sources churn (nodes leave and rejoin the bus)."""
@@ -710,6 +723,8 @@ def run_node_churn_task(
             round_period_s=round_period_s, channel_hopping=False, engine=engine, seed=seed
         ),
     )
+    if reception_kernel is not None:
+        simulator.engine.flood.reception_kernel = reception_kernel
     runner = _scenario_protocol(protocol, simulator, network)
     active_counts: List[int] = []
     for round_index in range(rounds):

@@ -1,0 +1,639 @@
+"""Declarative experiment specs.
+
+Every experiment family in this repository is ultimately "a registered
+worker function plus a JSON-able parameter dict plus a seed" — that is
+what :class:`~repro.experiments.runner.ScenarioTask` encodes and what
+the on-disk result cache hashes.  Historically each family hand-built
+those dicts in its own ``run_*_parallel`` driver, which meant each new
+scenario family duplicated the marshalling, the cache-key
+canonicalization and the grid expansion.
+
+This module replaces the hand-marshalling with frozen
+:class:`ExperimentSpec` dataclasses, one per family:
+
+``SweepSpec``
+    one (protocol, interference-ratio) point of the Fig. 5 sweep;
+``DynamicSpec``
+    one protocol run of the §V-C dynamic-interference timeline;
+``DCubeSpec``
+    one (protocol, WiFi-level) point of the Fig. 7 comparison;
+``FeatureSweepSpec``
+    one (dimension, value, model) point of the Fig. 4b feature sweeps;
+``TraceEpisodeSpec``
+    one (episode, N_TX) slice of the training-trace collection;
+``MobileJammerSpec`` / ``NodeChurnSpec``
+    the two dynamic scenario families.
+
+Specs are declarative and JSON round-trippable:
+
+* :meth:`ExperimentSpec.to_payload` / :func:`spec_from_payload` convert
+  a spec to/from a plain JSON object (``{"family": ..., fields...}``);
+  unknown fields are rejected, so stale spec files fail loudly.
+* Every field defaults to the :data:`UNSET` sentinel; only explicitly
+  set fields travel in the payload and in the task parameters, which is
+  what keeps content-hash cache keys identical to the historical
+  hand-built dicts (a key is only hashed if a caller set it).
+* Field values are canonicalized on construction (numeric casts, tuples
+  to lists, numpy scalars to Python) so two specs describing the same
+  run compare equal — and hash to the same cache key — regardless of
+  how the caller spelled the values.
+* :meth:`ExperimentSpec.task` derives the runner task: the experiment
+  name comes from the spec class, the parameters from the canonical
+  payload, the seed from the ``seed`` field.  ``spec.key()`` is the
+  on-disk cache key.
+* :meth:`ExperimentSpec.grid` cross-products any subset of fields
+  (``spec.grid(ratios=[0.0, 0.1], seeds=range(5))``) into a list of
+  specs, in deterministic order.
+
+The :class:`~repro.api.Session` facade runs specs through the parallel
+runner; the historical ``run_*_parallel`` drivers survive as deprecated
+shims over it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, ClassVar, Dict, List, Mapping, Optional, Type
+
+from repro.experiments.runner import ScenarioTask, _canonical
+
+
+class _Unset:
+    """Sentinel for "the caller did not set this field".
+
+    Unset fields are omitted from payloads and task parameters, so the
+    worker function's own defaults apply and — crucially — the task's
+    content-hash cache key only covers fields a caller actually set,
+    exactly like the historical hand-built parameter dicts.
+    """
+
+    _instance: ClassVar[Optional["_Unset"]] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The shared unset-field sentinel.
+UNSET = _Unset()
+
+#: Registry of spec families: payload ``family`` name -> spec class.
+SPEC_FAMILIES: Dict[str, Type["ExperimentSpec"]] = {}
+
+
+def register_spec(cls: Type["ExperimentSpec"]) -> Type["ExperimentSpec"]:
+    """Class decorator registering a spec family by its ``family`` name."""
+    if not getattr(cls, "family", None):
+        raise ValueError(f"{cls.__name__} must define a family name")
+    if cls.family in SPEC_FAMILIES:
+        raise ValueError(f"spec family {cls.family!r} registered twice")
+    SPEC_FAMILIES[cls.family] = cls
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Field casts (canonical value types, so cache keys never depend on how
+# a caller spelled a number)
+# ----------------------------------------------------------------------
+def _cast_topology(value: Any) -> Dict[str, Any]:
+    spec = dict(value)
+    if "kind" not in spec:
+        raise ValueError(f"topology spec needs a 'kind': {spec!r}")
+    return spec
+
+
+def _cast_network(value: Any) -> Dict[str, Any]:
+    if isinstance(value, Mapping):
+        return dict(value)
+    if value is None or not hasattr(value, "layer_sizes"):
+        raise ValueError(
+            "network must be a payload mapping or a QNetwork/QuantizedNetwork, "
+            f"got {value!r} (leave the field unset to use the worker default)"
+        )
+    # Accept live QNetwork / QuantizedNetwork objects for convenience.
+    from repro.experiments.runner import network_payload
+
+    return network_payload(value)
+
+
+def _cast_episode(value: Any) -> List[List[float]]:
+    return [[int(rounds), float(ratio)] for rounds, ratio in value]
+
+
+def _cast_episode_list(value: Any) -> List[List[List[float]]]:
+    return [_cast_episode(episode) for episode in value]
+
+
+def _cast_profile(value: Any) -> Dict[str, Any]:
+    if not isinstance(value, Mapping):
+        # Accept a live TrainingProfile.
+        if not hasattr(value, "trace_repetitions"):
+            raise ValueError(
+                "profile must be a mapping of TrainingProfile fields or a "
+                f"TrainingProfile, got {value!r}"
+            )
+        value = {
+            "name": value.name,
+            "trace_repetitions": value.trace_repetitions,
+            "training_iterations": value.training_iterations,
+            "anneal_steps": value.anneal_steps,
+        }
+    known = ("name", "trace_repetitions", "training_iterations", "anneal_steps")
+    unknown = sorted(set(value) - set(known))
+    if unknown:
+        # Same fail-loudly contract as top-level spec fields: a
+        # misspelled profile key must not silently fall back to the
+        # defaults (and hash to a different cache key).
+        raise ValueError(f"unknown profile key(s) {unknown}; known keys: {list(known)}")
+    return {
+        "name": str(value.get("name", "fast")),
+        "trace_repetitions": int(value.get("trace_repetitions", 1)),
+        "training_iterations": int(value.get("training_iterations", 8000)),
+        "anneal_steps": int(value.get("anneal_steps", 4000)),
+    }
+
+
+def _cast_churn(value: Any) -> List[Dict[str, Any]]:
+    return [dict(event) for event in value]
+
+
+def _cast_opt_str(value: Any) -> Optional[str]:
+    return None if value is None else str(value)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative grid point of a registered experiment family.
+
+    Subclasses set the class attributes ``family`` (payload/registry
+    name) and ``experiment`` (the
+    :data:`~repro.experiments.runner.EXPERIMENTS` entry executed in the
+    worker), declare their fields with :data:`UNSET` defaults, and may
+    map field names to cast callables in ``casts``.
+
+    ``seed`` becomes the task seed (it is hashed into the cache key
+    next to the parameters, like every :class:`ScenarioTask`);
+    ``label`` is a purely cosmetic task name for logs and error
+    messages — it is excluded from comparisons, payloads and cache
+    keys.
+    """
+
+    #: Registry name of the family (payload ``"family"`` value).
+    family: ClassVar[str] = ""
+    #: Name of the registered runner experiment this spec executes.
+    experiment: ClassVar[str] = ""
+    #: Optional per-field cast callables applied on construction.
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {}
+
+    seed: int = 0
+    label: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+        for spec_field in fields(self):
+            if spec_field.name in ("seed", "label"):
+                continue
+            value = getattr(self, spec_field.name)
+            if value is UNSET:
+                continue
+            cast = self.casts.get(spec_field.name)
+            if cast is not None:
+                value = cast(value)
+            object.__setattr__(self, spec_field.name, _canonical(value))
+
+    # ------------------------------------------------------------------
+    # Payload round trip
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, Any]:
+        """The explicitly set fields, canonicalized — the task params."""
+        return {
+            spec_field.name: getattr(self, spec_field.name)
+            for spec_field in fields(self)
+            if spec_field.name not in ("seed", "label")
+            and getattr(self, spec_field.name) is not UNSET
+        }
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Canonical JSON object describing this spec (round-trippable)."""
+        payload: Dict[str, Any] = {"family": self.family, "seed": self.seed}
+        payload.update(self.params())
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_payload` output.
+
+        Called on a subclass it validates the ``family`` entry (when
+        present); called on :class:`ExperimentSpec` it dispatches on it.
+        Unknown fields raise :class:`ValueError` so stale or misspelled
+        spec files fail loudly instead of silently changing cache keys.
+        """
+        payload = dict(payload)
+        family = payload.pop("family", None)
+        if cls is ExperimentSpec:
+            return spec_from_payload({"family": family, **payload})
+        if family is not None and family != cls.family:
+            raise ValueError(
+                f"payload family {family!r} does not match {cls.__name__} "
+                f"(family {cls.family!r})"
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {unknown} for spec family {cls.family!r}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**payload)
+
+    # ------------------------------------------------------------------
+    # Runner integration
+    # ------------------------------------------------------------------
+    def task(self, label: Optional[str] = None) -> ScenarioTask:
+        """The runner task this spec describes.
+
+        The experiment name comes from the spec class, the parameters
+        from the canonical payload and the seed from the ``seed`` field
+        — this is the single marshalling point for every caller, so the
+        content-hash cache key of a grid point no longer depends on
+        which driver built it.
+        """
+        return ScenarioTask(
+            experiment=self.experiment,
+            params=self.params(),
+            seed=self.seed,
+            label=label or self.label,
+        )
+
+    def key(self) -> str:
+        """Content-hash cache key of this spec (see :meth:`ScenarioTask.key`)."""
+        return self.task().key()
+
+    def describe(self) -> str:
+        """Human-readable name for logs and error messages."""
+        return self.label or f"{self.family}[{self.key()[:10]}]"
+
+    def parse(self, entry: Dict[str, Any]) -> Any:
+        """Convert a worker result entry into this family's typed result.
+
+        The base implementation returns the raw entry; families with a
+        richer result type (sweep metrics, dynamic time series, D-Cube
+        grid entries) override it.
+        """
+        return entry
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    def grid(self, **sweeps: Any) -> List["ExperimentSpec"]:
+        """Cross-product any subset of fields into a list of specs.
+
+        Keyword names address fields either exactly or by their plural
+        (``ratios`` sweeps ``ratio``, ``seeds`` sweeps ``seed``).  The
+        expansion order is deterministic: :func:`itertools.product`
+        over the keyword order, each value sequence in the order given.
+
+        >>> SweepSpec(protocol="lwb").grid(ratios=[0.0, 0.1], seeds=[1, 2])
+        ... # [ratio 0.0 seed 1, ratio 0.0 seed 2, ratio 0.1 seed 1, ...]
+        """
+        known = {spec_field.name for spec_field in fields(self)}
+        resolved: List[tuple] = []
+        for name, values in sweeps.items():
+            if name in known:
+                target = name
+            elif name.endswith("s") and name[:-1] in known:
+                target = name[:-1]
+            else:
+                raise ValueError(
+                    f"{name!r} matches no field of {type(self).__name__} "
+                    f"(fields: {sorted(known)})"
+                )
+            if isinstance(values, (str, bytes)):
+                raise ValueError(
+                    f"grid sweep {name!r} must be a list of values, got {values!r} "
+                    f"(a bare string would expand character by character)"
+                )
+            try:
+                resolved.append((target, list(values)))
+            except TypeError:
+                raise ValueError(
+                    f"grid sweep {name!r} must be a list of values, got {values!r}"
+                ) from None
+        if not resolved:
+            return [self]
+        names = [target for target, _ in resolved]
+        return [
+            # The base label is not copied onto expanded points: it
+            # would misattribute failures (every grid point would
+            # describe() identically); the key-based fallback stays
+            # unique per point.
+            replace(self, label=None, **dict(zip(names, combo)))
+            for combo in itertools.product(*(values for _, values in resolved))
+        ]
+
+
+# ----------------------------------------------------------------------
+# The seven families
+# ----------------------------------------------------------------------
+@register_spec
+@dataclass(frozen=True)
+class SweepSpec(ExperimentSpec):
+    """One (protocol, interference-ratio, run) point of the Fig. 5 sweep."""
+
+    family: ClassVar[str] = "sweep"
+    experiment: ClassVar[str] = "sweep_point"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "protocol": str,
+        "ratio": float,
+        "topology": _cast_topology,
+        "rounds": int,
+        "round_period_s": float,
+        "engine": str,
+        "reception_kernel": str,
+        "network": _cast_network,
+    }
+
+    protocol: Any = UNSET
+    ratio: Any = UNSET
+    topology: Any = UNSET
+    rounds: Any = UNSET
+    round_period_s: Any = UNSET
+    engine: Any = UNSET
+    reception_kernel: Any = UNSET
+    network: Any = UNSET
+
+    def parse(self, entry: Dict[str, Any]) -> Any:
+        from repro.experiments.metrics import ExperimentMetrics
+
+        return ExperimentMetrics.from_dict(entry)
+
+
+@register_spec
+@dataclass(frozen=True)
+class DynamicSpec(ExperimentSpec):
+    """One protocol run of the §V-C dynamic-interference timeline."""
+
+    family: ClassVar[str] = "dynamic"
+    experiment: ClassVar[str] = "dynamic_run"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "protocol": str,
+        "topology": _cast_topology,
+        "time_scale": float,
+        "round_period_s": float,
+        "network": _cast_network,
+    }
+
+    protocol: Any = UNSET
+    topology: Any = UNSET
+    time_scale: Any = UNSET
+    round_period_s: Any = UNSET
+    network: Any = UNSET
+
+    def parse(self, entry: Dict[str, Any]) -> Any:
+        from repro.experiments.dynamic import _dynamic_result_from_task
+
+        return _dynamic_result_from_task(entry)
+
+
+@register_spec
+@dataclass(frozen=True)
+class DCubeSpec(ExperimentSpec):
+    """One (protocol, WiFi-level) grid point of the Fig. 7 comparison."""
+
+    family: ClassVar[str] = "dcube"
+    experiment: ClassVar[str] = "dcube_point"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "protocol": str,
+        "level": int,
+        "topology": _cast_topology,
+        "num_rounds": int,
+        "num_sources": int,
+        "max_retries": int,
+        "network": _cast_network,
+    }
+
+    protocol: Any = UNSET
+    level: Any = UNSET
+    topology: Any = UNSET
+    num_rounds: Any = UNSET
+    num_sources: Any = UNSET
+    max_retries: Any = UNSET
+    network: Any = UNSET
+
+    def parse(self, entry: Dict[str, Any]) -> Any:
+        from repro.experiments.dcube import DCubeResult
+
+        return DCubeResult(
+            protocol=entry["protocol"],
+            level=int(entry["level"]),
+            reliability=entry["reliability"],
+            energy_j=entry["energy_j"],
+            average_radio_on_ms=entry["average_radio_on_ms"],
+            packets_generated=int(entry["packets_generated"]),
+            packets_delivered=int(entry["packets_delivered"]),
+        )
+
+
+@register_spec
+@dataclass(frozen=True)
+class FeatureSweepSpec(ExperimentSpec):
+    """One (dimension, value, model) point of the Fig. 4b feature sweeps."""
+
+    family: ClassVar[str] = "feature_sweep"
+    experiment: ClassVar[str] = "feature_sweep_point"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "dimension": str,
+        "value": int,
+        "topology": _cast_topology,
+        "profile": _cast_profile,
+        "training_episodes": _cast_episode_list,
+        "evaluation_episodes": _cast_episode_list,
+        "evaluation_repeats": int,
+        "data_dir": _cast_opt_str,
+        "eval_seed": int,
+    }
+
+    dimension: Any = UNSET
+    value: Any = UNSET
+    topology: Any = UNSET
+    profile: Any = UNSET
+    training_episodes: Any = UNSET
+    evaluation_episodes: Any = UNSET
+    evaluation_repeats: Any = UNSET
+    data_dir: Any = UNSET
+    eval_seed: Any = UNSET
+
+
+@register_spec
+@dataclass(frozen=True)
+class TraceEpisodeSpec(ExperimentSpec):
+    """One (episode, N_TX) slice of the training-trace collection."""
+
+    family: ClassVar[str] = "trace_episode"
+    experiment: ClassVar[str] = "trace_episode"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "topology": _cast_topology,
+        "n_tx": int,
+        "episode": _cast_episode,
+        "ambient_rate": float,
+        "round_period_s": float,
+        "interference_seed": int,
+        "churn": _cast_churn,
+    }
+
+    topology: Any = UNSET
+    n_tx: Any = UNSET
+    episode: Any = UNSET
+    ambient_rate: Any = UNSET
+    round_period_s: Any = UNSET
+    interference_seed: Any = UNSET
+    churn: Any = UNSET
+
+    def parse(self, entry: Dict[str, Any]) -> Any:
+        return entry["records"]
+
+
+@register_spec
+@dataclass(frozen=True)
+class MobileJammerSpec(ExperimentSpec):
+    """A protocol under a jammer patrolling across the deployment."""
+
+    family: ClassVar[str] = "mobile_jammer"
+    experiment: ClassVar[str] = "mobile_jammer_run"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "topology": _cast_topology,
+        "protocol": str,
+        "n_tx": int,
+        "rounds": int,
+        "round_period_s": float,
+        "interference_ratio": float,
+        "speed_mps": float,
+        "engine": str,
+        "reception_kernel": str,
+        "network": _cast_network,
+    }
+
+    topology: Any = UNSET
+    protocol: Any = UNSET
+    n_tx: Any = UNSET
+    rounds: Any = UNSET
+    round_period_s: Any = UNSET
+    interference_ratio: Any = UNSET
+    speed_mps: Any = UNSET
+    engine: Any = UNSET
+    reception_kernel: Any = UNSET
+    network: Any = UNSET
+
+
+@register_spec
+@dataclass(frozen=True)
+class NodeChurnSpec(ExperimentSpec):
+    """A protocol while traffic sources churn (leave and rejoin the bus)."""
+
+    family: ClassVar[str] = "node_churn"
+    experiment: ClassVar[str] = "node_churn_run"
+    casts: ClassVar[Mapping[str, Callable[[Any], Any]]] = {
+        "topology": _cast_topology,
+        "protocol": str,
+        "n_tx": int,
+        "rounds": int,
+        "round_period_s": float,
+        "churn_rate": float,
+        "min_outage_rounds": int,
+        "max_outage_rounds": int,
+        "engine": str,
+        "reception_kernel": str,
+        "network": _cast_network,
+    }
+
+    topology: Any = UNSET
+    protocol: Any = UNSET
+    n_tx: Any = UNSET
+    rounds: Any = UNSET
+    round_period_s: Any = UNSET
+    churn_rate: Any = UNSET
+    min_outage_rounds: Any = UNSET
+    max_outage_rounds: Any = UNSET
+    engine: Any = UNSET
+    reception_kernel: Any = UNSET
+    network: Any = UNSET
+
+
+# ----------------------------------------------------------------------
+# Payload / file helpers
+# ----------------------------------------------------------------------
+def spec_from_payload(payload: Mapping[str, Any]) -> ExperimentSpec:
+    """Rebuild a spec of any registered family from its JSON payload."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"spec payload must be a JSON object, got {type(payload).__name__}")
+    family = payload.get("family")
+    if family is None:
+        raise ValueError(
+            f"spec payload needs a 'family' entry; registered: {sorted(SPEC_FAMILIES)}"
+        )
+    try:
+        cls = SPEC_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown spec family {family!r}; registered: {sorted(SPEC_FAMILIES)}"
+        ) from None
+    return cls.from_payload(payload)
+
+
+def expand_spec_payload(payload: Mapping[str, Any]) -> List[ExperimentSpec]:
+    """Expand one payload into specs, honouring an optional ``"grid"`` entry.
+
+    ``{"family": "sweep", ..., "grid": {"ratios": [0.0, 0.1], "seeds": [0, 1]}}``
+    cross-products like :meth:`ExperimentSpec.grid`.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(
+            f"spec payload must be a JSON object, got {type(payload).__name__}"
+        )
+    payload = dict(payload)
+    grid = payload.pop("grid", None)
+    base = spec_from_payload(payload)
+    if not grid:
+        return [base]
+    if not isinstance(grid, Mapping):
+        raise ValueError(f"'grid' must be a JSON object of field sweeps, got {grid!r}")
+    return list(base.grid(**grid))
+
+
+def load_specs(path: Path) -> List[ExperimentSpec]:
+    """Load specs from a JSON file.
+
+    The file may hold a single spec object, a list of spec objects, or
+    ``{"specs": [...]}``; every object may carry a ``"grid"`` entry for
+    cross-product expansion.
+    """
+    import json
+
+    with Path(path).open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, Mapping) and "specs" in document:
+        entries = document["specs"]
+    elif isinstance(document, Mapping):
+        entries = [document]
+    elif isinstance(document, list):
+        entries = document
+    else:
+        raise ValueError(
+            f"spec file {path} must hold a spec object, a list of them, "
+            f"or {{'specs': [...]}}"
+        )
+    specs: List[ExperimentSpec] = []
+    for entry in entries:
+        specs.extend(expand_spec_payload(entry))
+    if not specs:
+        raise ValueError(f"spec file {path} contains no specs")
+    return specs

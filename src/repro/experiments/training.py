@@ -88,6 +88,11 @@ class TrainingPipeline:
         Training deployment (defaults to the 18-node testbed, as in the
         paper — §V-E then evaluates the resulting network on D-Cube
         without retraining).
+    topology_spec:
+        Optional JSON-able spec of ``topology`` (see
+        :func:`~repro.experiments.runner.build_topology`); required for
+        parallel trace collection (``collect_traces(runner=...)``) so
+        worker processes can rebuild the deployment.
     feature_config:
         State-encoding configuration (K, M, N_max) of the DQN to train.
     profile:
@@ -101,6 +106,7 @@ class TrainingPipeline:
     """
 
     topology: Topology = field(default_factory=kiel_testbed)
+    topology_spec: Optional[dict] = None
     feature_config: FeatureConfig = field(default_factory=FeatureConfig)
     profile: TrainingProfile = field(default_factory=TrainingProfile.standard)
     episodes: Sequence[EpisodeSpec] = DEFAULT_TRAINING_EPISODES
@@ -160,19 +166,32 @@ class TrainingPipeline:
     # ------------------------------------------------------------------
     # Pipeline stages
     # ------------------------------------------------------------------
-    def collect_traces(self, force: bool = False) -> TraceSet:
-        """Collect (or load cached) training traces."""
+    def collect_traces(self, force: bool = False, runner=None) -> TraceSet:
+        """Collect (or load cached) training traces.
+
+        With ``runner`` set (a
+        :class:`~repro.experiments.runner.ParallelRunner`) the
+        ``N_max + 1`` lock-stepped simulators of every episode fan out
+        as ``trace_episode`` worker tasks — the pipeline then needs a
+        ``topology_spec`` so workers can rebuild the deployment; the
+        merged trace is identical to the serial result.
+        """
         path = self.trace_path()
         if path.exists() and not force:
             return TraceSet.load(path)
         recorder = TraceRecorder(
             topology=self.topology,
+            topology_spec=self.topology_spec,
             n_max=self.feature_config.n_max,
             ambient_rate=self.ambient_rate,
             seed=self.seed,
             churn=self.churn,
         )
-        trace = recorder.record(episodes=self.episodes, repetitions=self.profile.trace_repetitions)
+        trace = recorder.record(
+            episodes=self.episodes,
+            repetitions=self.profile.trace_repetitions,
+            runner=runner,
+        )
         trace.save(path)
         return trace
 

@@ -563,33 +563,28 @@ class TraceRecorder:
                 "parallel trace recording needs a topology_spec so workers "
                 "can rebuild the deployment"
             )
-        from repro.experiments.runner import ScenarioTask
+        from repro.api import Session
+        from repro.experiments.spec import UNSET, TraceEpisodeSpec
 
-        tasks = []
-        for repetition, episode_index, spec, n_tx in jobs:
-            params = {
-                "topology": self.topology_spec,
-                "n_tx": n_tx,
-                "episode": [[int(rounds), float(ratio)] for rounds, ratio in spec],
-                "ambient_rate": self.ambient_rate,
-                "round_period_s": self.round_period_s,
-                "interference_seed": self.seed + episode_index,
-            }
-            if self.churn:
+        specs = [
+            TraceEpisodeSpec(
+                topology=self.topology_spec,
+                n_tx=n_tx,
+                episode=spec,
+                ambient_rate=self.ambient_rate,
+                round_period_s=self.round_period_s,
+                interference_seed=self.seed + episode_index,
                 # Only churn-enabled recordings extend the task params,
                 # so every pre-existing cached trace shard keeps its
                 # content-hash key (mirrors the trace-file key guard in
                 # TrainingPipeline).
-                params["churn"] = self.churn
-            tasks.append(
-                ScenarioTask(
-                    experiment="trace_episode",
-                    params=params,
-                    seed=self.seed + 101 * repetition + episode_index,
-                    label=f"trace[rep{repetition}/ep{episode_index}/ntx{n_tx}]",
-                )
+                churn=self.churn if self.churn else UNSET,
+                seed=self.seed + 101 * repetition + episode_index,
+                label=f"trace[rep{repetition}/ep{episode_index}/ntx{n_tx}]",
             )
-        results = runner.run(tasks)
+            for repetition, episode_index, spec, n_tx in jobs
+        ]
+        results = Session(runner=runner).run_entries(specs)
         return {
             (repetition, episode_index, n_tx): result["records"]
             for (repetition, episode_index, _, n_tx), result in zip(jobs, results)

@@ -92,6 +92,111 @@ class TestBenchOutputContract:
         assert payload["engine"] == "vectorized-log"
         assert payload["protocols"]["lwb"]["reliability"] >= 0.0
 
+class TestRunSpecSubcommand:
+    """`repro-bench run --spec` executes any registered family from JSON
+    and writes the same artifact envelope as the dedicated subcommands."""
+
+    def run_spec_file(self, tmp_path, document, extra=()):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(document))
+        output = tmp_path / "out.json"
+        code = bench.main(
+            [
+                "run",
+                "--spec",
+                str(spec_file),
+                "--workers",
+                "1",
+                "--no-cache",
+                "--output",
+                str(output),
+                *extra,
+            ]
+        )
+        return code, output
+
+    def test_executes_spec_and_writes_artifact(self, tmp_path, capsys):
+        code, output = self.run_spec_file(
+            tmp_path,
+            {"family": "mobile_jammer", "protocol": "lwb", "rounds": 2,
+             "round_period_s": 1.0},
+        )
+        assert code == 0
+        assert f"[output] {output}" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        # Same artifact envelope as every dedicated subcommand.
+        assert payload["command"] == "run"
+        assert payload["failed_shards"] == []
+        assert payload["runner_stats"]["executed"] == 1
+        assert payload["specs"][0]["family"] == "mobile_jammer"
+        assert 0.0 <= payload["results"][0]["reliability"] <= 1.0
+
+    def test_grid_expansion_in_spec_file(self, tmp_path):
+        code, output = self.run_spec_file(
+            tmp_path,
+            {"family": "node_churn", "protocol": "lwb", "rounds": 2,
+             "round_period_s": 1.0, "grid": {"seeds": [0, 1]}},
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert len(payload["results"]) == 2
+        assert [spec["seed"] for spec in payload["specs"]] == [0, 1]
+
+    def test_failed_shards_exit_nonzero(self, tmp_path, broken_mobile_jammer):
+        code, output = self.run_spec_file(
+            tmp_path, {"family": "mobile_jammer", "protocol": "lwb", "rounds": 2}
+        )
+        assert code != 0
+        payload = json.loads(output.read_text())
+        assert len(payload["failed_shards"]) == 1
+        assert "RuntimeError" in payload["failed_shards"][0]["error"]
+
+    def test_unknown_family_exits_with_clean_error(self, tmp_path, capsys):
+        code, _ = self.run_spec_file(tmp_path, {"family": "klein-bottle"})
+        assert code == 2
+        assert "klein-bottle" in capsys.readouterr().err
+
+    def test_unknown_field_exits_with_clean_error(self, tmp_path, capsys):
+        code, _ = self.run_spec_file(
+            tmp_path, {"family": "sweep", "definitely_not_a_field": 1}
+        )
+        assert code == 2
+        assert "definitely_not_a_field" in capsys.readouterr().err
+
+    def test_session_engine_flag_reaches_workers(self, tmp_path, monkeypatch):
+        seen = []
+        original = EXPERIMENTS["node_churn_run"]
+
+        def spy(seed=0, **params):
+            seen.append(params.get("engine"))
+            return original(seed=seed, **params)
+
+        monkeypatch.setitem(EXPERIMENTS, "node_churn_run", spy)
+        code, output = self.run_spec_file(
+            tmp_path,
+            {"family": "node_churn", "protocol": "lwb", "rounds": 2,
+             "round_period_s": 1.0},
+            extra=["--engine", "scalar"],
+        )
+        assert code == 0
+        assert seen == ["scalar"]
+        # The artifact records the *prepared* spec — what actually
+        # executed and got cached — so the injected engine is visible.
+        payload = json.loads(output.read_text())
+        assert payload["specs"][0]["engine"] == "scalar"
+
+    def test_engine_flag_warns_for_engineless_families(self, tmp_path, capsys):
+        code, _ = self.run_spec_file(
+            tmp_path,
+            {"family": "trace_episode", "n_tx": 1, "episode": [[1, 0.0]],
+             "round_period_s": 1.0},
+            extra=["--engine", "scalar"],
+        )
+        assert code == 0
+        assert "trace_episode" in capsys.readouterr().err
+
+
+class TestFailureCacheInteraction:
     def test_failure_not_served_from_cache_on_rerun(
         self, tmp_path, monkeypatch, capsys
     ):

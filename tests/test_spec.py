@@ -1,0 +1,525 @@
+"""Tests for the declarative spec layer and the :class:`Session` facade.
+
+Three contracts:
+
+* **JSON round trip** — for every registered family,
+  ``from_payload(to_payload(s)) == s``, unknown fields are rejected and
+  grid expansion is deterministic.
+* **Cache-key stability** — a spec's content-hash key does not depend
+  on the process, the field ordering of its payload, or how a caller
+  spelled numeric values; and it equals the key of the hand-built
+  parameter dicts the pre-spec drivers used, so cache directories
+  warmed by the deprecated ``run_*_parallel`` shims stay warm.
+* **Shim == Session** — each deprecated driver produces the same
+  results as the session method it now wraps, on one small point per
+  family.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ParallelRunner,
+    ScenarioTask,
+    stable_seed,
+)
+from repro.experiments.spec import (
+    SPEC_FAMILIES,
+    UNSET,
+    DCubeSpec,
+    DynamicSpec,
+    ExperimentSpec,
+    FeatureSweepSpec,
+    MobileJammerSpec,
+    NodeChurnSpec,
+    SweepSpec,
+    TraceEpisodeSpec,
+    expand_spec_payload,
+    load_specs,
+    spec_from_payload,
+)
+
+#: One representative (small but fully populated) spec per family.
+REPRESENTATIVES = {
+    "sweep": SweepSpec(
+        protocol="lwb", ratio=0.15, topology={"kind": "kiel"}, rounds=6,
+        round_period_s=1.0, engine="vectorized", seed=11,
+    ),
+    "dynamic": DynamicSpec(
+        protocol="pid", topology={"kind": "kiel"}, time_scale=0.02,
+        round_period_s=4.0, seed=3,
+    ),
+    "dcube": DCubeSpec(
+        protocol="crystal", level=1, topology={"kind": "dcube"}, num_rounds=8,
+        num_sources=3, max_retries=2, seed=5,
+    ),
+    "feature_sweep": FeatureSweepSpec(
+        dimension="input_nodes", value=2, topology={"kind": "kiel"},
+        profile={"name": "t", "trace_repetitions": 1,
+                 "training_iterations": 40, "anneal_steps": 20},
+        training_episodes=[[[2, 0.0]]], evaluation_episodes=[[[2, 0.0]]],
+        evaluation_repeats=1, data_dir=None, eval_seed=7, seed=1,
+    ),
+    "trace_episode": TraceEpisodeSpec(
+        topology={"kind": "kiel"}, n_tx=2, episode=[[2, 0.0], [2, 0.3]],
+        ambient_rate=0.02, round_period_s=4.0, interference_seed=4, seed=9,
+    ),
+    "mobile_jammer": MobileJammerSpec(
+        protocol="lwb", rounds=4, round_period_s=1.0, interference_ratio=0.4,
+        seed=2,
+    ),
+    "node_churn": NodeChurnSpec(
+        protocol="lwb", rounds=4, round_period_s=1.0, churn_rate=0.4, seed=2,
+    ),
+}
+
+
+class TestPayloadRoundTrip:
+    def test_every_family_has_a_representative(self):
+        assert sorted(REPRESENTATIVES) == sorted(SPEC_FAMILIES)
+
+    @pytest.mark.parametrize("family", sorted(REPRESENTATIVES))
+    def test_round_trip_identity(self, family):
+        spec = REPRESENTATIVES[family]
+        payload = spec.to_payload()
+        json.dumps(payload)  # payloads must be JSON-serializable
+        clone = spec_from_payload(payload)
+        assert clone == spec
+        assert clone.key() == spec.key()
+        assert type(clone) is type(spec)
+
+    @pytest.mark.parametrize("family", sorted(REPRESENTATIVES))
+    def test_unknown_field_rejected(self, family):
+        payload = REPRESENTATIVES[family].to_payload()
+        payload["definitely_not_a_field"] = 1
+        with pytest.raises(ValueError, match="definitely_not_a_field"):
+            spec_from_payload(payload)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="klein-bottle"):
+            spec_from_payload({"family": "klein-bottle"})
+        with pytest.raises(ValueError, match="family"):
+            spec_from_payload({"protocol": "lwb"})
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            SweepSpec.from_payload({"family": "dcube"})
+
+    def test_base_class_dispatches(self):
+        payload = REPRESENTATIVES["sweep"].to_payload()
+        assert isinstance(ExperimentSpec.from_payload(payload), SweepSpec)
+
+    def test_unknown_profile_key_rejected(self):
+        # Same fail-loudly contract as top-level fields: a typo'd
+        # profile key must not silently train with the default budget.
+        with pytest.raises(ValueError, match="training_iteration"):
+            FeatureSweepSpec(profile={"name": "t", "training_iteration": 40})
+
+    def test_non_mapping_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            FeatureSweepSpec(profile="fast")
+
+    def test_null_network_rejected(self):
+        with pytest.raises(ValueError, match="network"):
+            spec_from_payload(
+                {"family": "sweep", "protocol": "dimmer", "network": None}
+            )
+
+    def test_unset_fields_stay_out_of_payload_and_params(self):
+        spec = MobileJammerSpec(protocol="lwb", rounds=3)
+        assert "engine" not in spec.to_payload()
+        assert "network" not in spec.params()
+        assert spec.params() == {"protocol": "lwb", "rounds": 3}
+
+
+class TestGridExpansion:
+    def test_cross_product_order_is_deterministic(self):
+        base = SweepSpec(protocol="lwb", rounds=5)
+        grid = base.grid(ratios=[0.0, 0.1], seeds=[1, 2])
+        assert [(s.ratio, s.seed) for s in grid] == [
+            (0.0, 1), (0.0, 2), (0.1, 1), (0.1, 2),
+        ]
+        again = base.grid(ratios=[0.0, 0.1], seeds=[1, 2])
+        assert again == grid
+        assert [s.key() for s in again] == [s.key() for s in grid]
+
+    def test_plural_and_exact_field_names(self):
+        base = SweepSpec(rounds=5)
+        assert [s.protocol for s in base.grid(protocols=["lwb", "pid"])] == ["lwb", "pid"]
+        assert [s.ratio for s in base.grid(ratio=[0.3])] == [0.3]
+
+    def test_unknown_grid_field_rejected(self):
+        with pytest.raises(ValueError, match="wibbles"):
+            SweepSpec().grid(wibbles=[1])
+
+    def test_scalar_grid_sweep_rejected(self):
+        with pytest.raises(ValueError, match="list of values"):
+            SweepSpec().grid(seeds=5)
+
+    def test_string_grid_sweep_rejected(self):
+        # A bare string is iterable and would expand char-by-char.
+        with pytest.raises(ValueError, match="character"):
+            SweepSpec().grid(protocols="lwb")
+
+    def test_grid_resets_the_cosmetic_label(self):
+        # Expanded points must not all describe() as the base label —
+        # that would misattribute worker failures.
+        grid = SweepSpec(protocol="lwb", label="base").grid(ratios=[0.0, 0.2])
+        assert [spec.label for spec in grid] == [None, None]
+        assert grid[0].describe() != grid[1].describe()
+
+    def test_grid_preserves_other_fields(self):
+        base = MobileJammerSpec(protocol="lwb", rounds=7, interference_ratio=0.2)
+        for spec in base.grid(seeds=range(3)):
+            assert spec.rounds == 7
+            assert spec.interference_ratio == 0.2
+
+    def test_no_sweeps_returns_self(self):
+        base = SweepSpec(protocol="lwb")
+        assert base.grid() == [base]
+
+
+class TestCacheKeys:
+    def test_key_pinned_across_processes(self):
+        # The key is a pure content hash (sha1 over canonical JSON), so
+        # it must never drift across processes, sessions or releases —
+        # a drift would silently invalidate every warmed cache dir.
+        spec = SweepSpec(
+            protocol="lwb", ratio=0.15, topology={"kind": "kiel"}, rounds=40,
+            round_period_s=4.0, engine="vectorized", seed=123,
+        )
+        assert spec.key() == "8577484b52eab6a417b1dcd74a86f4e7bf7f3392"
+
+    @pytest.mark.parametrize("family", sorted(REPRESENTATIVES))
+    def test_key_independent_of_payload_field_order(self, family):
+        spec = REPRESENTATIVES[family]
+        payload = spec.to_payload()
+        reordered = dict(reversed(list(payload.items())))
+        assert spec_from_payload(reordered).key() == spec.key()
+
+    def test_key_independent_of_value_spelling(self):
+        # The pre-spec drivers hand-canonicalized kwargs (ints vs
+        # floats, tuples vs lists); the spec casts do it centrally.
+        a = SweepSpec(protocol="lwb", ratio=0, rounds=40.0, round_period_s=4)
+        b = SweepSpec(protocol="lwb", ratio=0.0, rounds=40, round_period_s=4.0)
+        assert a == b
+        assert a.key() == b.key()
+        t1 = TraceEpisodeSpec(episode=((2, 0), (3, 0.3)), n_tx=2)
+        t2 = TraceEpisodeSpec(episode=[[2, 0.0], [3, 0.3]], n_tx=2.0)
+        assert t1.key() == t2.key()
+
+    def test_label_is_cosmetic(self):
+        a = SweepSpec(protocol="lwb", ratio=0.1, label="point-a")
+        b = SweepSpec(protocol="lwb", ratio=0.1, label="point-b")
+        assert a == b
+        assert a.key() == b.key()
+        assert "label" not in a.to_payload()
+
+    def test_sweep_key_matches_legacy_driver_params(self):
+        # Byte-for-byte what run_interference_sweep_parallel built
+        # before the spec layer existed.
+        protocol, ratio, run_index, seed = "lwb", 0.15, 1, 3
+        legacy = ScenarioTask(
+            experiment="sweep_point",
+            params={
+                "protocol": protocol,
+                "ratio": ratio,
+                "topology": {"kind": "kiel"},
+                "rounds": 40,
+                "round_period_s": 4.0,
+                "engine": "vectorized",
+            },
+            seed=stable_seed(seed, protocol, round(ratio * 100), run_index),
+        )
+        spec = SweepSpec(
+            protocol=protocol, ratio=ratio, topology={"kind": "kiel"}, rounds=40,
+            round_period_s=4.0, engine="vectorized",
+            seed=stable_seed(seed, protocol, round(ratio * 100), run_index),
+        )
+        assert spec.key() == legacy.key()
+
+    def test_scenario_key_matches_legacy_bench_params(self):
+        # Byte-for-byte what `repro-bench scenarios` built before.
+        legacy = ScenarioTask(
+            experiment="mobile_jammer_run",
+            params={"protocol": "lwb", "rounds": 2, "engine": "vectorized"},
+            seed=stable_seed(0, "mobile_jammer_run", "lwb", 0),
+        )
+        spec = MobileJammerSpec(
+            protocol="lwb", rounds=2, engine="vectorized",
+            seed=stable_seed(0, "mobile_jammer_run", "lwb", 0),
+        )
+        assert spec.key() == legacy.key()
+
+    def test_trace_key_matches_legacy_recorder_params(self):
+        # Byte-for-byte what TraceRecorder._episode_payloads built
+        # before (churn key omitted when empty).
+        legacy = ScenarioTask(
+            experiment="trace_episode",
+            params={
+                "topology": {"kind": "kiel"},
+                "n_tx": 2,
+                "episode": [[2, 0.0], [3, 0.3]],
+                "ambient_rate": 0.02,
+                "round_period_s": 4.0,
+                "interference_seed": 5,
+            },
+            seed=7,
+        )
+        spec = TraceEpisodeSpec(
+            topology={"kind": "kiel"}, n_tx=2, episode=((2, 0.0), (3, 0.3)),
+            ambient_rate=0.02, round_period_s=4.0, interference_seed=5, seed=7,
+        )
+        assert spec.key() == legacy.key()
+
+    def test_cache_warmed_by_deprecated_shim_hits_for_session(self, tmp_path):
+        """Acceptance: a cache dir warmed by a deprecated run_*_parallel
+        shim is a full cache hit for the equivalent spec grid."""
+        from repro.experiments.interference_sweep import run_interference_sweep_parallel
+
+        kwargs = dict(
+            ratios=(0.0, 0.2), protocols=("lwb",), rounds_per_run=4, runs=2, seed=7,
+        )
+        shim_result = run_interference_sweep_parallel(
+            ParallelRunner(max_workers=1, cache_dir=tmp_path), **kwargs
+        )
+
+        session = Session(max_workers=1, cache_dir=tmp_path)
+        direct = session.sweep(**kwargs)
+        assert session.stats.executed == 0
+        assert session.stats.cache_misses == 0
+        assert session.stats.cache_hits == 4
+        for point in shim_result.points:
+            twin = direct.point(point.protocol, point.interference_ratio)
+            assert twin.metrics.reliability == point.metrics.reliability
+
+    def test_cache_warmed_by_legacy_tasks_hits_for_specs(self, tmp_path):
+        """A cache dir warmed pre-spec must be a full hit for specs."""
+        seeds = [stable_seed(3, "lwb", 15, i) for i in range(2)]
+        legacy_tasks = [
+            ScenarioTask(
+                experiment="mobile_jammer_run",
+                params={"protocol": "lwb", "rounds": 2, "round_period_s": 1.0},
+                seed=seed,
+            )
+            for seed in seeds
+        ]
+        warm = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        legacy_results = warm.run(legacy_tasks)
+        assert warm.stats.executed == 2
+
+        session = Session(max_workers=1, cache_dir=tmp_path)
+        spec = MobileJammerSpec(protocol="lwb", rounds=2, round_period_s=1.0)
+        entries = session.run_entries(spec.grid(seeds=seeds))
+        assert session.stats.cache_hits == 2
+        assert session.stats.executed == 0
+        assert entries == legacy_results
+
+
+class TestSessionFacade:
+    def test_engine_default_applies_only_when_unset(self):
+        session = Session(max_workers=1, engine="scalar")
+        injected = session.prepare(MobileJammerSpec(protocol="lwb", rounds=2))
+        assert injected.engine == "scalar"
+        explicit = session.prepare(
+            MobileJammerSpec(protocol="lwb", rounds=2, engine="vectorized")
+        )
+        assert explicit.engine == "vectorized"
+        # Families without an engine field pass through untouched.
+        trace = REPRESENTATIVES["trace_episode"]
+        assert session.prepare(trace) == trace
+
+    def test_reception_kernel_default(self):
+        session = Session(max_workers=1, reception_kernel="per-flood")
+        injected = session.prepare(SweepSpec(protocol="lwb", ratio=0.1))
+        assert injected.reception_kernel == "per-flood"
+
+    def test_network_injected_into_dimmer_specs_only(self, untrained_network):
+        session = Session(max_workers=1, network=untrained_network)
+        dimmer = session.prepare(MobileJammerSpec(protocol="dimmer", rounds=2))
+        assert dimmer.network is not UNSET
+        lwb = session.prepare(MobileJammerSpec(protocol="lwb", rounds=2))
+        assert lwb.network is UNSET
+
+    def test_run_returns_typed_results(self):
+        session = Session(max_workers=1)
+        metrics = session.run(
+            SweepSpec(protocol="lwb", ratio=0.1, rounds=4, round_period_s=1.0, seed=1)
+        )
+        assert 0.0 <= metrics.reliability <= 1.0  # ExperimentMetrics
+        result = session.run(REPRESENTATIVES["dcube"])
+        assert result.protocol == "crystal"  # DCubeResult
+        assert result.level == 1
+
+    def test_run_grid_collect_errors_passes_failures_through(self):
+        from repro.experiments.runner import FAILURE_KEY
+
+        session = Session(max_workers=1)
+        good = SweepSpec(protocol="lwb", ratio=0.0, rounds=2, round_period_s=1.0)
+        bad = SweepSpec(protocol="unknown-protocol", ratio=0.0, rounds=2)
+        results = session.run_grid([good, bad], collect_errors=True)
+        assert 0.0 <= results[0].reliability <= 1.0
+        assert results[1][FAILURE_KEY] is True
+
+
+class TestShimEqualsSession:
+    """One small point per family: the deprecated driver == Session."""
+
+    def test_sweep(self):
+        from repro.experiments.interference_sweep import run_interference_sweep_parallel
+
+        kwargs = dict(
+            ratios=(0.0, 0.2), protocols=("lwb",), rounds_per_run=5, runs=2, seed=5,
+        )
+        shim = run_interference_sweep_parallel(
+            ParallelRunner(max_workers=1), **kwargs
+        )
+        direct = Session(max_workers=1).sweep(**kwargs)
+        for point in shim.points:
+            twin = direct.point(point.protocol, point.interference_ratio)
+            assert twin.metrics.reliability == pytest.approx(point.metrics.reliability)
+            assert twin.metrics.radio_on_ms == pytest.approx(point.metrics.radio_on_ms)
+
+    def test_dynamic(self, untrained_network):
+        from repro.experiments.dynamic import run_dynamic_comparison_parallel
+
+        shim = run_dynamic_comparison_parallel(
+            ParallelRunner(max_workers=1), untrained_network, time_scale=0.02, seed=2
+        )
+        direct = Session(max_workers=1).dynamic_comparison(
+            network=untrained_network, time_scale=0.02, seed=2
+        )
+        assert direct.dimmer.metrics.reliability == pytest.approx(
+            shim.dimmer.metrics.reliability
+        )
+        assert direct.pid.n_tx.values == shim.pid.n_tx.values
+
+    def test_dcube(self):
+        from repro.experiments.dcube import run_dcube_comparison_parallel
+
+        kwargs = dict(levels=(1,), protocols=("lwb", "crystal"), num_rounds=6, seed=4)
+        shim = run_dcube_comparison_parallel(
+            ParallelRunner(max_workers=1), network=None, **kwargs
+        )
+        direct = Session(max_workers=1).dcube(**kwargs)
+        for protocol in ("lwb", "crystal"):
+            assert direct.get(protocol, 1).reliability == pytest.approx(
+                shim.get(protocol, 1).reliability
+            )
+            assert direct.get(protocol, 1).energy_j == pytest.approx(
+                shim.get(protocol, 1).energy_j
+            )
+
+    def test_feature_sweep(self, tmp_path):
+        from repro.experiments.feature_selection import run_feature_sweep_parallel
+        from repro.experiments.training import TrainingProfile
+
+        kwargs = dict(
+            values=(2,),
+            models_per_value=1,
+            profile=TrainingProfile(
+                name="t", trace_repetitions=1, training_iterations=40, anneal_steps=20
+            ),
+            training_episodes=(((2, 0.0),),),
+            evaluation_episodes=(((2, 0.0),),),
+            evaluation_repeats=1,
+            seed=1,
+        )
+        shim = run_feature_sweep_parallel(
+            ParallelRunner(max_workers=1), "input_nodes",
+            data_dir=tmp_path / "shim", **kwargs
+        )
+        direct = Session(max_workers=1).feature_sweep(
+            "input_nodes", data_dir=tmp_path / "direct", **kwargs
+        )
+        assert direct.points[0].reliability == pytest.approx(shim.points[0].reliability)
+        assert direct.points[0].radio_on_ms == pytest.approx(shim.points[0].radio_on_ms)
+        assert direct.points[0].dqn_size_kb == shim.points[0].dqn_size_kb
+
+    def test_trace_episode(self):
+        from repro.net.topology import kiel_testbed
+        from repro.rl.trace_env import record_episode_for_n_tx
+
+        episode = ((2, 0.0), (2, 0.3))
+        serial = record_episode_for_n_tx(
+            kiel_testbed(), 2, episode, 0.02, 4.0, episode_seed=9, interference_seed=4
+        )
+        spec = TraceEpisodeSpec(
+            topology={"kind": "kiel"}, n_tx=2, episode=episode, ambient_rate=0.02,
+            round_period_s=4.0, interference_seed=4, seed=9,
+        )
+        assert Session(max_workers=1).run(spec) == serial
+
+    @pytest.mark.parametrize("family", ["mobile_jammer", "node_churn"])
+    def test_scenario_families(self, family):
+        spec = REPRESENTATIVES[family]
+        entry = Session(max_workers=1).run(spec)
+        direct = EXPERIMENTS[spec.experiment](seed=spec.seed, **spec.params())
+        assert entry == direct
+
+    def test_scenario_family_driver_matches_bench_grid(self, tmp_path):
+        """Session.scenario_family reuses the exact bench cache keys."""
+        legacy_tasks = [
+            ScenarioTask(
+                experiment="node_churn_run",
+                params={"protocol": "lwb", "rounds": 3, "engine": "vectorized"},
+                seed=stable_seed(1, "node_churn_run", "lwb", run_index),
+            )
+            for run_index in range(2)
+        ]
+        warm = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+        warm.run(legacy_tasks)
+
+        session = Session(max_workers=1, cache_dir=tmp_path)
+        result = session.scenario_family(
+            "node_churn", protocols=("lwb",), runs=2, rounds=3, seed=1
+        )
+        assert session.stats.executed == 0
+        assert session.stats.cache_hits == 2
+        assert result.protocols["lwb"]["runs"] == 2
+        assert not result.failed
+
+
+class TestSpecFiles:
+    def test_expand_grid_payload(self):
+        specs = expand_spec_payload(
+            {"family": "sweep", "protocol": "lwb", "rounds": 5,
+             "grid": {"ratios": [0.0, 0.1], "seeds": [0, 1]}}
+        )
+        assert len(specs) == 4
+        assert len({spec.key() for spec in specs}) == 4
+
+    def test_load_specs_single_list_and_wrapper(self, tmp_path):
+        single = tmp_path / "single.json"
+        single.write_text(json.dumps({"family": "mobile_jammer", "rounds": 2}))
+        assert len(load_specs(single)) == 1
+
+        many = tmp_path / "many.json"
+        many.write_text(json.dumps([
+            {"family": "mobile_jammer", "rounds": 2},
+            {"family": "node_churn", "rounds": 2, "grid": {"seeds": [0, 1]}},
+        ]))
+        assert [spec.family for spec in load_specs(many)] == [
+            "mobile_jammer", "node_churn", "node_churn",
+        ]
+
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"specs": [{"family": "sweep", "ratio": 0.1}]}))
+        assert load_specs(wrapped)[0].family == "sweep"
+
+    def test_load_specs_rejects_garbage(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        with pytest.raises(ValueError, match="no specs"):
+            load_specs(empty)
+        scalar = tmp_path / "scalar.json"
+        scalar.write_text("42")
+        with pytest.raises(ValueError):
+            load_specs(scalar)
+        scalar_entry = tmp_path / "scalar_entry.json"
+        scalar_entry.write_text("[42]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_specs(scalar_entry)
