@@ -110,6 +110,16 @@ class Session:
         Session-wide policy network (live ``QNetwork`` /
         ``QuantizedNetwork`` or its JSON payload) injected into any
         Dimmer spec that leaves ``network`` unset.
+    retry_policy:
+        Per-shard :class:`~repro.experiments.resilience.RetryPolicy`
+        (``None`` = the default: 3 attempts, deterministic backoff);
+        ignored when ``runner`` is given.
+    shard_timeout_s:
+        Per-shard wall-clock timeout enforced by the runner's watchdog;
+        ignored when ``runner`` is given.
+    checkpoint:
+        Path of the append-only checkpoint manifest journaling completed
+        shard keys (grid resume); ignored when ``runner`` is given.
     """
 
     def __init__(
@@ -120,11 +130,20 @@ class Session:
         engine: Optional[str] = None,
         reception_kernel: Optional[str] = None,
         network: Any = None,
+        retry_policy: Any = None,
+        shard_timeout_s: Optional[float] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
     ) -> None:
         self.runner = (
             runner
             if runner is not None
-            else ParallelRunner(max_workers=max_workers, cache_dir=cache_dir)
+            else ParallelRunner(
+                max_workers=max_workers,
+                cache_dir=cache_dir,
+                retry_policy=retry_policy,
+                shard_timeout_s=shard_timeout_s,
+                checkpoint=checkpoint,
+            )
         )
         self.engine = engine
         self.reception_kernel = reception_kernel
@@ -523,14 +542,12 @@ class Session:
         from repro.net.trace import atomic_write_json
 
         path = Path(path)
-        stats = self.stats
         document = dict(payload)
         document["command"] = command
-        document["runner_stats"] = {
-            "executed": stats.executed,
-            "cache_hits": stats.cache_hits,
-            "cache_misses": stats.cache_misses,
-        }
+        # Full accounting, fault counters included: retries, timeouts,
+        # quarantined cache entries, corrupt results, pool restarts and
+        # checkpoint-resumed shards all land in the artifact.
+        document["runner_stats"] = self.stats.as_dict()
         document["failed_shards"] = [dict(entry) for entry in failed_shards]
         atomic_write_json(path, document)
         return path

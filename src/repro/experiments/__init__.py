@@ -20,6 +20,10 @@ One module per element of the paper's evaluation (§V):
 * :mod:`repro.experiments.runner` — the parallel experiment runner
   fanning scenario x seed grids across worker processes, with
   deterministic seeding and an on-disk result cache.
+* :mod:`repro.experiments.resilience` — the fault-tolerance layer of
+  the runner: retry policy with deterministic backoff, checksummed
+  result envelopes, graceful interruption, and the seeded
+  fault-injection harness (``chaos`` experiment + ``REPRO_FAULT_PLAN``).
 * :mod:`repro.experiments.spec` — declarative, JSON round-trippable
   experiment specs (one frozen dataclass per family) executed through
   the :class:`repro.api.Session` facade.
@@ -31,6 +35,11 @@ from repro.experiments.metrics import (
     ExperimentMetrics,
     aggregate_experiment_metrics,
     summarize_rounds,
+)
+from repro.experiments.resilience import (
+    FaultPlan,
+    GridInterrupted,
+    RetryPolicy,
 )
 from repro.experiments.runner import (
     ParallelRunner,
@@ -70,6 +79,9 @@ __all__ = [
     "ParallelRunner",
     "RunnerError",
     "ScenarioTask",
+    "FaultPlan",
+    "GridInterrupted",
+    "RetryPolicy",
     "register_experiment",
     "stable_seed",
     "SPEC_FAMILIES",

@@ -33,17 +33,44 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api import DEFAULT_CACHE_DIR, Session
 from repro.experiments.reporting import format_table
+from repro.experiments.resilience import GridInterrupted, RetryPolicy
 from repro.experiments.runner import FAILURE_KEY, RunnerError
 from repro.experiments.spec import load_specs
+
+#: Manifest file name used by ``--resume`` without an explicit path.
+DEFAULT_CHECKPOINT_NAME = "grid_checkpoint.jsonl"
+
+
+class _UsageError(Exception):
+    """A CLI flag combination that cannot work; printed, exit code 2."""
+
+
+def _checkpoint_path(args: argparse.Namespace, cache_dir: Optional[Path]) -> Optional[Path]:
+    """Resolve ``--resume`` into a manifest path (or ``None``)."""
+    resume = getattr(args, "resume", None)
+    if resume is None:
+        return None
+    if resume != "auto":
+        return Path(resume)
+    if cache_dir is None:
+        raise _UsageError(
+            "--resume without a manifest path needs the result cache "
+            "(drop --no-cache or pass --resume MANIFEST)"
+        )
+    return cache_dir / DEFAULT_CHECKPOINT_NAME
 
 
 def _session(args: argparse.Namespace, network: Any = None) -> Session:
     cache_dir = None if args.no_cache else Path(args.cache_dir)
+    retries = getattr(args, "retries", None)
     return Session(
         max_workers=args.workers,
         cache_dir=cache_dir,
         engine=getattr(args, "session_engine", None),
         network=network,
+        retry_policy=RetryPolicy(max_attempts=retries + 1) if retries is not None else None,
+        shard_timeout_s=getattr(args, "shard_timeout", None),
+        checkpoint=_checkpoint_path(args, cache_dir),
     )
 
 
@@ -55,10 +82,22 @@ def _load_network():
 
 def _print_stats(session: Session) -> None:
     stats = session.stats
-    print(
+    line = (
         f"[runner] executed={stats.executed} "
         f"cache_hits={stats.cache_hits} cache_misses={stats.cache_misses}"
     )
+    # Fault counters only when something actually happened — the happy
+    # path stays as quiet as it always was.
+    faults = {
+        "retries": stats.retries,
+        "timeouts": stats.timeouts,
+        "quarantined": stats.quarantined,
+        "corrupt_results": stats.corrupt_results,
+        "pool_restarts": stats.pool_restarts,
+        "resumed": stats.resumed,
+    }
+    extras = " ".join(f"{name}={count}" for name, count in faults.items() if count)
+    print(f"{line} {extras}" if extras else line)
 
 
 def _emit_output(
@@ -319,6 +358,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="path of the JSON results artifact "
              "(default: repro_bench_<command>.json; always printed)",
     )
+    common.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per shard after the first attempt for transient "
+             "failures (timeouts, dead workers, corrupt results); "
+             "default: 2, with deterministic exponential backoff",
+    )
+    common.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock timeout; an overrunning shard is "
+             "cancelled (its worker pool rebuilt) and retried",
+    )
+    common.add_argument(
+        "--resume", nargs="?", const="auto", default=None, metavar="MANIFEST",
+        help="journal completed shards to an append-only checkpoint "
+             "manifest and resume from it: an interrupted grid restarts "
+             "where it stopped (default manifest: "
+             f"<cache-dir>/{DEFAULT_CHECKPOINT_NAME})",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -393,7 +450,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-bench`` console script."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _UsageError as error:
+        print(f"[error] {error}", file=sys.stderr)
+        return 2
+    except GridInterrupted as stop:
+        # Completed shards were flushed to cache (and the checkpoint
+        # manifest under --resume) before the drain finished; rerunning
+        # the same command picks up exactly where this stopped.
+        print(
+            f"[interrupted] {stop.completed}/{stop.total} shards completed and "
+            f"flushed; rerun to resume",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

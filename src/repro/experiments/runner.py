@@ -32,16 +32,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import multiprocessing
 import os
-from concurrent.futures import ALL_COMPLETED, FIRST_EXCEPTION, ProcessPoolExecutor, wait
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.net.trace import atomic_write_json
+
+logger = logging.getLogger(__name__)
 
 #: Registry of experiment functions runnable by :class:`ParallelRunner`.
 #: Each entry maps a name to ``fn(seed=..., **params) -> dict`` where the
@@ -134,8 +143,39 @@ def failure_entry(task: ScenarioTask, cause: BaseException) -> Dict[str, Any]:
     return {FAILURE_KEY: True, "task": task.describe(), "error": repr(cause)}
 
 
-def _execute_task(task: ScenarioTask) -> Dict[str, Any]:
-    """Worker entry point: resolve the experiment and run it."""
+#: Worker-side side channels.  ``_CURRENT_ATTEMPT`` lets the chaos
+#: wrapper index the fault plan by attempt number without the attempt
+#: ever touching task params (cache keys must not depend on retries);
+#: ``_TAMPER_NEXT`` is how a ``corrupt`` fault asks the envelope sealing
+#: below to break the checksum of the result it returns.
+_CURRENT_ATTEMPT = 0
+_TAMPER_NEXT = False
+
+
+def current_attempt() -> int:
+    """The attempt number of the task currently executing in this process."""
+    return _CURRENT_ATTEMPT
+
+
+def tamper_next_result() -> None:
+    """Make :func:`_execute_task` seal its result with a broken checksum."""
+    global _TAMPER_NEXT
+    _TAMPER_NEXT = True
+
+
+def _execute_task(task: ScenarioTask, attempt: int = 0) -> Dict[str, Any]:
+    """Worker entry point: resolve the experiment, run it, seal the result.
+
+    The return value is a checksummed envelope
+    (:func:`repro.experiments.resilience.seal_result`); the parent
+    verifies it on receipt, so a corrupted result is detected and
+    retried instead of silently cached.
+    """
+    global _CURRENT_ATTEMPT, _TAMPER_NEXT
+    from repro.experiments.resilience import seal_result
+
+    _CURRENT_ATTEMPT = attempt
+    _TAMPER_NEXT = False
     try:
         fn = EXPERIMENTS[task.experiment]
     except KeyError:
@@ -149,7 +189,9 @@ def _execute_task(task: ScenarioTask) -> Dict[str, Any]:
             f"experiment {task.experiment!r} must return a dict, "
             f"got {type(result).__name__}"
         )
-    return result
+    envelope = seal_result(result, tamper=_TAMPER_NEXT)
+    _TAMPER_NEXT = False
+    return envelope
 
 
 def _worker_context():
@@ -170,11 +212,111 @@ def _worker_context():
 
 @dataclass
 class RunnerStats:
-    """Cache and execution accounting of one :meth:`ParallelRunner.run` call."""
+    """Cache, execution and fault accounting of :meth:`ParallelRunner.run` calls."""
 
     cache_hits: int = 0
     cache_misses: int = 0
     executed: int = 0
+    #: Transient shard failures that were retried (per retry, not per shard).
+    retries: int = 0
+    #: Shards cancelled by the per-shard wall-clock watchdog.
+    timeouts: int = 0
+    #: Corrupt cache entries renamed to ``*.corrupt`` instead of served.
+    quarantined: int = 0
+    #: In-flight results that failed checksum verification.
+    corrupt_results: int = 0
+    #: Worker-pool rebuilds (dead worker or timeout recovery).
+    pool_restarts: int = 0
+    #: Cache hits for shards recorded in the checkpoint manifest.
+    resumed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-able snapshot (the artifact envelope's ``runner_stats``)."""
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "corrupt_results": self.corrupt_results,
+            "pool_restarts": self.pool_restarts,
+            "resumed": self.resumed,
+        }
+
+
+class _InterruptState:
+    """Shared flag between the signal handlers and the scheduler loops."""
+
+    def __init__(self) -> None:
+        self.flag = False
+        self.signals = 0
+
+
+@contextmanager
+def _graceful_interrupts():
+    """Install drain-on-first-signal handlers for SIGINT/SIGTERM.
+
+    The first signal sets the flag — the scheduler stops submitting new
+    shards, drains the in-flight ones and raises
+    :class:`~repro.experiments.resilience.GridInterrupted` after
+    flushing them.  A second signal escalates to an immediate
+    ``KeyboardInterrupt``.  Outside the main thread (or where signals
+    are unavailable) this is a no-op and ^C keeps its default behavior.
+    """
+    state = _InterruptState()
+    if threading.current_thread() is not threading.main_thread():
+        yield state
+        return
+    previous: Dict[int, Any] = {}
+
+    def handler(signum, frame):
+        state.signals += 1
+        state.flag = True
+        if state.signals > 1:
+            raise KeyboardInterrupt
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            continue
+    try:
+        yield state
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down hard: cancel queued work and kill the workers.
+
+    Used when a worker died (the pool is broken anyway), when a shard
+    overran its timeout (``ProcessPoolExecutor`` cannot cancel a running
+    task, so the only way to reclaim the worker is to kill it), and on
+    abort paths where waiting for stragglers would hang the caller.
+    """
+    if pool is None:
+        return
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # pragma: no cover - defensive
+            continue
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        except Exception:  # pragma: no cover - defensive
+            continue
 
 
 class ParallelRunner:
@@ -190,17 +332,48 @@ class ParallelRunner:
         Directory for the on-disk result cache; ``None`` disables
         caching.  Entries are JSON files named by the task content hash,
         so any parameter change invalidates exactly the affected tasks.
+        Entries are checksummed on write and verified on load; a torn or
+        corrupt entry is quarantined (renamed to ``*.corrupt``) and the
+        task recomputed.
+    retry_policy:
+        The :class:`~repro.experiments.resilience.RetryPolicy` applied
+        per shard (``None`` = the default policy: 3 attempts with
+        deterministic exponential backoff).  Transient failures —
+        timeouts, dead workers, corrupt results — are retried; permanent
+        ones (unknown family, bad spec, deterministic experiment bugs)
+        fail fast.
+    shard_timeout_s:
+        Per-shard wall-clock timeout enforced by a watchdog over the
+        worker futures (pool mode only).  An overrunning shard's worker
+        pool is torn down and rebuilt, the shard counts a timeout and is
+        retried under the policy; innocent in-flight shards are
+        resubmitted without being charged an attempt.
+    checkpoint:
+        Path of an append-only JSONL manifest journaling completed shard
+        keys.  An interrupted grid rerun with the same manifest resumes
+        from it (completed shards are cache hits counted as ``resumed``
+        in :class:`RunnerStats`) instead of recomputing.
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         cache_dir: Optional[Path] = None,
+        retry_policy: Optional[Any] = None,
+        shard_timeout_s: Optional[float] = None,
+        checkpoint: Optional[Path] = None,
     ) -> None:
+        from repro.experiments.resilience import RetryPolicy
+
         if max_workers is not None and max_workers < 0:
             raise ValueError("max_workers must be non-negative")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive")
         self.max_workers = max_workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.shard_timeout_s = shard_timeout_s
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.stats = RunnerStats()
 
     # ------------------------------------------------------------------
@@ -211,17 +384,47 @@ class ParallelRunner:
             return None
         return self.cache_dir / f"{task.key()}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt cache entry aside instead of silently dropping it.
+
+        The quarantined file (``<entry>.corrupt``) keeps the evidence
+        for post-mortems, the counter surfaces the event in
+        :class:`RunnerStats` and the artifact envelope, and the rename
+        guarantees the torn entry can never be served again even if the
+        recompute is interrupted before overwriting it.
+        """
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - entry vanished concurrently
+                pass
+        self.stats.quarantined += 1
+        logger.warning("quarantined corrupt cache entry %s: %s", path.name, reason)
+
     def _cache_load(self, task: ScenarioTask) -> Optional[Dict[str, Any]]:
         path = self._cache_path(task)
         if path is None or not path.exists():
             return None
+        from repro.experiments.resilience import CorruptResult, open_result
+
         try:
             with path.open("r", encoding="utf-8") as handle:
-                result = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            # A torn or corrupted entry is a miss: recompute and overwrite.
+                raw = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            self._quarantine(path, repr(error))
             return None
-        if isinstance(result, dict) and result.get(FAILURE_KEY):
+        try:
+            result = open_result(raw, context=task.describe())
+        except CorruptResult as error:
+            self._quarantine(path, str(error))
+            return None
+        if not isinstance(result, dict):
+            self._quarantine(path, f"entry is {type(result).__name__}, not a dict")
+            return None
+        if result.get(FAILURE_KEY):
             # Never serve a recorded failure as a grid result: a failed
             # shard absorbed by the cache would silently poison every
             # re-run.  Treat it as a miss and recompute.
@@ -232,8 +435,50 @@ class ParallelRunner:
         path = self._cache_path(task)
         if path is None:
             return
-        # Write-then-rename so concurrent runners never read a torn file.
-        atomic_write_json(path, result)
+        from repro.experiments.resilience import seal_result
+
+        # Checksummed envelope + write-then-rename: concurrent runners
+        # never read a torn file, and a half-written or bit-rotted entry
+        # is detected (and quarantined) on load instead of served.
+        atomic_write_json(path, seal_result(result))
+
+    # ------------------------------------------------------------------
+    # Checkpoint manifest
+    # ------------------------------------------------------------------
+    def _checkpoint_keys(self) -> Set[str]:
+        """Completed-shard keys recorded in the checkpoint manifest."""
+        if self.checkpoint is None or not self.checkpoint.exists():
+            return set()
+        keys: Set[str] = set()
+        try:
+            lines = self.checkpoint.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return set()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                keys.add(json.loads(line)["key"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A torn tail line (crash mid-append) only loses that
+                # one entry; the shard recomputes from cache or scratch.
+                continue
+        return keys
+
+    def _journal(self, task: ScenarioTask, manifest: Set[str]) -> None:
+        """Append a completed shard to the manifest (idempotent, fsynced)."""
+        if self.checkpoint is None:
+            return
+        key = task.key()
+        if key in manifest:
+            return
+        manifest.add(key)
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        with self.checkpoint.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": key, "label": task.describe()}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     # Execution
@@ -244,71 +489,329 @@ class ParallelRunner:
         """Execute every task and return their results in task order.
 
         Cached results are returned without re-execution; the remaining
-        tasks run on the worker pool.  By default the first worker
-        failure aborts the run by raising :class:`RunnerError`; with
-        ``collect_errors`` the grid completes and each failed shard
-        yields a :func:`failure_entry` dict (flagged with
-        :data:`FAILURE_KEY`) in its result slot instead — failures are
-        never written to the cache, and cached entries carrying the
-        marker are treated as misses, so a failed shard can never be
-        silently served from disk.
+        tasks run on the worker pool under the runner's
+        :class:`~repro.experiments.resilience.RetryPolicy` and shard
+        timeout.  By default the first *permanent* shard failure (or a
+        transient one that exhausted its retries) aborts the run by
+        raising :class:`RunnerError`; with ``collect_errors`` the grid
+        completes and each failed shard yields a :func:`failure_entry`
+        dict (flagged with :data:`FAILURE_KEY`) in its result slot
+        instead — failures are never written to the cache, and cached
+        entries carrying the marker are treated as misses, so a failed
+        shard can never be silently served from disk.
+
+        SIGINT/SIGTERM interrupt gracefully: no new shards are
+        submitted, in-flight shards drain and flush to cache and
+        checkpoint, then
+        :class:`~repro.experiments.resilience.GridInterrupted` is
+        raised with the partial-completion accounting.
         """
         tasks = list(tasks)
         results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        manifest = self._checkpoint_keys()
         pending: List[int] = []
         for index, task in enumerate(tasks):
             cached = self._cache_load(task)
             if cached is not None:
                 results[index] = cached
                 self.stats.cache_hits += 1
+                if task.key() in manifest:
+                    self.stats.resumed += 1
+                else:
+                    self._journal(task, manifest)
             else:
                 pending.append(index)
                 self.stats.cache_misses += 1
 
         if pending:
-            inline = self.max_workers is not None and self.max_workers <= 1
-            if inline:
-                for index in pending:
-                    try:
-                        results[index] = _execute_task(tasks[index])
-                    except BaseException as exc:
-                        if not collect_errors:
-                            raise RunnerError(tasks[index], exc) from exc
-                        results[index] = failure_entry(tasks[index], exc)
-                        continue
-                    self._cache_store(tasks[index], results[index])
-                    self.stats.executed += 1
-            else:
-                with ProcessPoolExecutor(
-                    max_workers=self.max_workers, mp_context=_worker_context()
-                ) as pool:
-                    futures = {
-                        pool.submit(_execute_task, tasks[index]): index for index in pending
-                    }
-                    wait(
-                        futures,
-                        return_when=ALL_COMPLETED if collect_errors else FIRST_EXCEPTION,
-                    )
-                    for future, index in futures.items():
-                        error = future.exception() if future.done() else None
-                        if error is not None:
-                            if not collect_errors:
-                                for other in futures:
-                                    other.cancel()
-                                raise RunnerError(tasks[index], error) from error
-                            results[index] = failure_entry(tasks[index], error)
-                    for future, index in futures.items():
-                        if results[index] is not None:
-                            continue
-                        results[index] = future.result()
-                        self._cache_store(tasks[index], results[index])
-                        self.stats.executed += 1
+            with _graceful_interrupts() as interrupt:
+                if self.max_workers is not None and self.max_workers <= 1:
+                    self._run_inline(tasks, pending, results, collect_errors,
+                                     manifest, interrupt)
+                else:
+                    self._run_pool(tasks, pending, results, collect_errors,
+                                   manifest, interrupt)
         # Every slot must be filled: a hole here would silently shift the
         # positional regrouping done by the grid-level callers.
         missing = [tasks[i].describe() for i, r in enumerate(results) if r is None]
         if missing:
             raise RuntimeError(f"tasks produced no result: {missing}")
         return list(results)  # type: ignore[arg-type]
+
+    def _finish(
+        self,
+        task: ScenarioTask,
+        envelope: Any,
+        manifest: Set[str],
+    ) -> Dict[str, Any]:
+        """Verify, cache and journal one completed shard's result.
+
+        Raises :class:`~repro.experiments.resilience.CorruptResult` if
+        the envelope fails checksum verification (a ``corrupt`` fault or
+        a torn IPC stream) — the caller retries under the policy.
+        """
+        from repro.experiments.resilience import open_result
+
+        result = open_result(envelope, context=task.describe())
+        self._cache_store(task, result)
+        self._journal(task, manifest)
+        self.stats.executed += 1
+        return result
+
+    def _run_inline(
+        self,
+        tasks: Sequence[ScenarioTask],
+        pending: Sequence[int],
+        results: List[Optional[Dict[str, Any]]],
+        collect_errors: bool,
+        manifest: Set[str],
+        interrupt: _InterruptState,
+    ) -> None:
+        """Inline execution path (``max_workers <= 1``) with retries.
+
+        Shard timeouts are not enforceable inline (there is no worker to
+        kill); kill faults degrade to raises for the same reason.
+        """
+        from repro.experiments.resilience import CorruptResult, GridInterrupted
+
+        policy = self.retry_policy
+        for index in pending:
+            if interrupt.flag:
+                raise GridInterrupted(
+                    completed=sum(1 for r in results if r is not None), total=len(tasks)
+                )
+            attempt = 0
+            while True:
+                try:
+                    envelope = _execute_task(tasks[index], attempt)
+                    results[index] = self._finish(tasks[index], envelope, manifest)
+                    break
+                except KeyboardInterrupt:
+                    raise GridInterrupted(
+                        completed=sum(1 for r in results if r is not None),
+                        total=len(tasks),
+                    ) from None
+                except BaseException as exc:
+                    if isinstance(exc, CorruptResult):
+                        self.stats.corrupt_results += 1
+                    attempt += 1
+                    if policy.is_transient(exc) and attempt < policy.max_attempts:
+                        self.stats.retries += 1
+                        delay = policy.delay_s(tasks[index].key(), attempt)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    if collect_errors:
+                        results[index] = failure_entry(tasks[index], exc)
+                        break
+                    raise RunnerError(tasks[index], exc) from exc
+
+    def _run_pool(
+        self,
+        tasks: Sequence[ScenarioTask],
+        pending: Sequence[int],
+        results: List[Optional[Dict[str, Any]]],
+        collect_errors: bool,
+        manifest: Set[str],
+        interrupt: _InterruptState,
+    ) -> None:
+        """Worker-pool scheduler with watchdog, retries and pool recovery.
+
+        Invariants:
+
+        * every pending shard index lives in exactly one place — the
+          ``ready`` queue, the ``delayed`` backoff list, the ``suspects``
+          queue, the in-flight map, or its (result / failure) slot;
+        * a dead worker (``BrokenProcessPool``) never sinks the grid:
+          the pool is rebuilt, and since the executor cannot attribute
+          the death to a shard, the in-flight shards are re-verified
+          **one at a time** — the shard that breaks the pool alone is
+          the culprit (charged an attempt and retried under the policy),
+          the bystanders are requeued free of charge;
+        * a shard overrunning ``shard_timeout_s`` costs the pool (a
+          running future cannot be cancelled), which is torn down and
+          rebuilt; the straggler is charged a timeout + attempt, the
+          bystanders are requeued free of charge.
+        """
+        from repro.experiments.resilience import (
+            BrokenWorker,
+            CorruptResult,
+            GridInterrupted,
+            ShardTimeout,
+        )
+
+        policy = self.retry_policy
+        worker_count = self.max_workers or os.cpu_count() or 1
+        restart_budget = policy.restart_budget(len(pending))
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        ready: deque = deque(pending)
+        suspects: deque = deque()
+        delayed: List[List[Any]] = []  # [due_monotonic, index, solo]
+        inflight: Dict[Any, int] = {}
+        deadlines: Dict[Any, float] = {}
+        restarts = 0
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def new_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=_worker_context()
+            )
+
+        def rebuild_pool() -> None:
+            nonlocal pool, restarts
+            _terminate_pool(pool)
+            restarts += 1
+            self.stats.pool_restarts += 1
+            inflight.clear()
+            deadlines.clear()
+            pool = new_pool()
+
+        def fail(index: int, error: BaseException) -> None:
+            if not collect_errors:
+                _terminate_pool(pool)
+                raise RunnerError(tasks[index], error) from error
+            results[index] = failure_entry(tasks[index], error)
+
+        def retry_or_fail(index: int, error: BaseException, solo: bool = False) -> None:
+            attempts[index] += 1
+            if policy.is_transient(error) and attempts[index] < policy.max_attempts:
+                self.stats.retries += 1
+                due = time.monotonic() + policy.delay_s(tasks[index].key(), attempts[index])
+                delayed.append([due, index, solo])
+            else:
+                fail(index, error)
+
+        def submit(index: int) -> bool:
+            try:
+                future = pool.submit(_execute_task, tasks[index], attempts[index])
+            except (BrokenProcessPool, RuntimeError):
+                return False
+            inflight[future] = index
+            if self.shard_timeout_s is not None:
+                deadlines[future] = time.monotonic() + self.shard_timeout_s
+            return True
+
+        def handle_broken(victims: List[int]) -> None:
+            """Recover from a dead worker: rebuild, attribute, requeue."""
+            victims = victims + list(inflight.values())
+            rebuild_pool()
+            if restarts > restart_budget:
+                error = BrokenWorker(
+                    f"worker pool restart budget exhausted ({restart_budget})"
+                )
+                for index in victims:
+                    fail(index, error)
+                return
+            if len(victims) == 1:
+                # A lone in-flight shard is its own attribution.
+                retry_or_fail(
+                    victims[0],
+                    BrokenWorker("worker process died executing this shard"),
+                    solo=True,
+                )
+            else:
+                # Unknown culprit: re-verify each suspect alone; no
+                # attempt is charged until a shard breaks the pool solo.
+                suspects.extend(victims)
+
+        pool = new_pool()
+        try:
+            while ready or delayed or suspects or inflight:
+                now = time.monotonic()
+                for entry in [e for e in delayed if e[0] <= now]:
+                    delayed.remove(entry)
+                    (suspects if entry[2] else ready).append(entry[1])
+
+                if interrupt.flag:
+                    # Drain: submit nothing new, let in-flight shards
+                    # finish and flush, then report the partial grid.
+                    ready.clear()
+                    suspects.clear()
+                    delayed.clear()
+                    if not inflight:
+                        raise GridInterrupted(
+                            completed=sum(1 for r in results if r is not None),
+                            total=len(tasks),
+                        )
+                elif suspects:
+                    # Solo-verification mode: wait out the parallel
+                    # in-flight shards, then one suspect at a time.
+                    if not inflight and not submit(suspects.popleft()):
+                        handle_broken([])
+                        continue
+                else:
+                    while ready and len(inflight) < worker_count:
+                        index = ready.popleft()
+                        if not submit(index):
+                            ready.appendleft(index)
+                            handle_broken([])
+                            break
+
+                if not inflight:
+                    if delayed:
+                        next_due = min(entry[0] for entry in delayed)
+                        time.sleep(min(0.05, max(0.0, next_due - time.monotonic())))
+                    continue
+
+                done, _ = wait(list(inflight), timeout=0.1, return_when=FIRST_COMPLETED)
+                broken_victims: List[int] = []
+                for future in done:
+                    index = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    error = future.exception()
+                    if error is None:
+                        try:
+                            results[index] = self._finish(
+                                tasks[index], future.result(), manifest
+                            )
+                        except CorruptResult as corrupt:
+                            self.stats.corrupt_results += 1
+                            retry_or_fail(index, corrupt)
+                    elif isinstance(error, BrokenProcessPool):
+                        broken_victims.append(index)
+                    else:
+                        retry_or_fail(index, error)
+                if broken_victims:
+                    handle_broken(broken_victims)
+                    continue
+
+                if self.shard_timeout_s is not None and deadlines:
+                    now = time.monotonic()
+                    overdue = [f for f, due in deadlines.items() if due <= now]
+                    if overdue:
+                        timed_out = [inflight[f] for f in overdue]
+                        bystanders = [
+                            i for f, i in inflight.items() if f not in overdue
+                        ]
+                        self.stats.timeouts += len(timed_out)
+                        rebuild_pool()
+                        if restarts > restart_budget:
+                            error = ShardTimeout(
+                                f"pool restart budget exhausted ({restart_budget})"
+                            )
+                            for index in timed_out + bystanders:
+                                fail(index, error)
+                            continue
+                        for index in timed_out:
+                            retry_or_fail(
+                                index,
+                                ShardTimeout(
+                                    f"shard exceeded {self.shard_timeout_s:.3g}s wall clock"
+                                ),
+                            )
+                        # The watchdog killed the pool under them;
+                        # resubmit without charging an attempt.
+                        ready.extend(bystanders)
+            if interrupt.flag:
+                # The drain finished on the same pass that emptied the
+                # in-flight map; the loop exited before the top-of-loop
+                # check could fire.
+                raise GridInterrupted(
+                    completed=sum(1 for r in results if r is not None),
+                    total=len(tasks),
+                )
+        finally:
+            _terminate_pool(pool)
 
     def run_grid(
         self,

@@ -238,3 +238,89 @@ class TestFailureCacheInteraction:
         assert payload["failed_shards"] == []
         # The healthy rerun executed the shard (no poisoned cache hit).
         assert payload["runner_stats"]["executed"] == 1
+
+
+class TestResilienceFlags:
+    """`--retries`, `--shard-timeout` and `--resume` on every subcommand."""
+
+    def test_flags_reach_the_session(self, tmp_path, monkeypatch):
+        captured = {}
+        real_session = bench.Session
+
+        def spy(**kwargs):
+            captured.update(kwargs)
+            return real_session(**kwargs)
+
+        monkeypatch.setattr(bench, "Session", spy)
+        code, _ = run_scenarios(
+            tmp_path, extra=["--retries", "1", "--shard-timeout", "5"]
+        )
+        assert code == 0
+        assert captured["retry_policy"].max_attempts == 2
+        assert captured["shard_timeout_s"] == 5.0
+        assert captured["checkpoint"] is None
+
+    def test_retries_flag_recovers_transient_shard(self, tmp_path, monkeypatch):
+        from repro.experiments.resilience import TransientError
+
+        original = EXPERIMENTS["mobile_jammer_run"]
+        calls = []
+
+        def flaky(seed=0, **params):
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientError("worker hiccup")
+            return original(seed=seed, **params)
+
+        monkeypatch.setitem(EXPERIMENTS, "mobile_jammer_run", flaky)
+        code, output = run_scenarios(tmp_path, extra=["--retries", "3"])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["runner_stats"]["retries"] == 2
+        assert payload["failed_shards"] == []
+
+    def test_retries_zero_fails_fast(self, tmp_path, monkeypatch):
+        from repro.experiments.resilience import TransientError
+
+        def flaky(seed=0, **params):
+            raise TransientError("worker hiccup")
+
+        monkeypatch.setitem(EXPERIMENTS, "mobile_jammer_run", flaky)
+        code, output = run_scenarios(tmp_path, extra=["--retries", "0"])
+        assert code != 0
+        payload = json.loads(output.read_text())
+        assert payload["runner_stats"]["retries"] == 0
+        assert len(payload["failed_shards"]) == 1
+
+    def test_resume_journals_then_resumes_for_free(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+
+        def run():
+            output = tmp_path / "out.json"
+            code = bench.main(
+                [
+                    "scenarios", "--family", "mobile_jammer",
+                    "--protocols", "lwb", "--runs", "1", "--rounds", "2",
+                    "--workers", "1", "--cache-dir", str(cache_dir),
+                    "--resume", "--output", str(output),
+                ]
+            )
+            return code, json.loads(output.read_text())
+
+        code, payload = run()
+        assert code == 0
+        assert payload["runner_stats"]["executed"] == 1
+        manifest = cache_dir / bench.DEFAULT_CHECKPOINT_NAME
+        assert len(manifest.read_text().splitlines()) == 1
+
+        code, payload = run()
+        assert code == 0
+        # 100% checkpoint/cache hits: zero recomputation.
+        assert payload["runner_stats"]["executed"] == 0
+        assert payload["runner_stats"]["cache_hits"] == 1
+        assert payload["runner_stats"]["resumed"] == 1
+
+    def test_resume_without_cache_is_a_usage_error(self, tmp_path, capsys):
+        code, _ = run_scenarios(tmp_path, extra=["--resume"])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err

@@ -308,8 +308,10 @@ class TestFailedShards:
         assert results[0]["value"] == 0.0
         assert FAILURE_KEY not in results[0]
         assert runner.stats.cache_misses == 1
-        # ... and the cache now holds the real result.
-        assert json.loads(poisoned.read_text())["value"] == 0.0
+        # ... and the cache now holds the real result (in the sealed,
+        # checksummed envelope every entry is written with).
+        entry = json.loads(poisoned.read_text())
+        assert entry["payload"]["value"] == 0.0
 
     @pytest.mark.parametrize("workers", [1, 2])
     def test_collect_errors_completes_the_grid(self, tmp_path, workers):
